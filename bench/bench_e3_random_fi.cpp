@@ -1,0 +1,46 @@
+// E3 -- Random fault injection baseline (paper: 5000 random injections
+// over several weeks found ZERO safety hazards; 1.93% SDC, 7.35% hangs/
+// kernel panics). We run random bit-flip and random value campaigns and
+// report the same outcome taxonomy.
+#include <cstdio>
+
+#include "core/campaign.h"
+#include "core/report.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+
+int main(int argc, char** argv) {
+  // Budget scaled down from the paper's 5000 to keep the bench minutes-
+  // scale; pass a larger count to approach the paper's campaign size.
+  const std::size_t budget =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+
+  std::printf("E3: random FI campaigns (%zu injections each)\n", budget);
+
+  auto suite = sim::base_suite();
+  ads::PipelineConfig config;
+  config.seed = 101;
+  core::CampaignRunner runner(suite, config);
+  runner.goldens();
+
+  const core::CampaignStats bitflips =
+      runner.run_random_bitflip_campaign(budget, 555);
+  core::outcome_table(bitflips).print(
+      "E3a: random single-bit flips in architectural state "
+      "(paper: 1.93% SDC, 7.35% hang/panic, 0 hazards)");
+
+  const core::CampaignStats multibit =
+      runner.run_random_bitflip_campaign(budget / 3, 777, /*bits=*/2);
+  core::outcome_table(multibit).print("E3b: random double-bit flips");
+
+  const core::CampaignStats values =
+      runner.run_random_value_campaign(budget, 999);
+  core::outcome_table(values).print(
+      "E3c: random min/max module-output corruption");
+
+  std::printf("\nhazards found by random FI: bitflip=%zu multibit=%zu "
+              "value=%zu (paper: 0)\n",
+              bitflips.hazard, multibit.hazard, values.hazard);
+  return 0;
+}

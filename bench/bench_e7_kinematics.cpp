@@ -1,0 +1,92 @@
+// E7 -- Stopping-distance engine (paper §III-A, Fig. 5, eq. (7)): the
+// numerical procedure P vs the closed form on straight-line motion, the
+// d_stop sweep over initial speed and steering angle, and RK4 integration
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "kinematics/stopping.h"
+#include "util/table.h"
+
+using namespace drivefi;
+
+namespace {
+
+void report_tables() {
+  // Accuracy vs closed form.
+  util::Table accuracy({"v0 (m/s)", "P(.) dstop (m)", "v0^2/2a (m)",
+                        "rel err"});
+  for (double v0 : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 33.5, 40.0}) {
+    const auto d = kinematics::stopping_distance(6.0, v0, 0.0, 0.0, 2.8);
+    const double closed = kinematics::stopping_distance_straight(6.0, v0);
+    accuracy.add_row({util::Table::fmt(v0, 1),
+                      util::Table::fmt(d.longitudinal, 4),
+                      util::Table::fmt(closed, 4),
+                      util::Table::fmt(std::abs(d.longitudinal - closed) /
+                                           closed,
+                                       9)});
+  }
+  accuracy.print("E7: numerical P(.) vs closed form (straight line)");
+
+  // d_stop as a function of steering angle at highway speed: the lateral
+  // component that drives lateral delta.
+  util::Table sweep({"phi0 (rad)", "dstop_lon (m)", "lat, lane-hold (m)",
+                     "lat, paper-frozen (m)", "stop time (s)"});
+  for (double phi : {0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3}) {
+    const auto held = kinematics::stopping_distance(6.0, 33.5, 0.0, phi, 2.8);
+    // Paper-pure variant: dphi/dt = 0 for the whole stop (eq. (5)).
+    const auto frozen =
+        kinematics::stopping_distance(6.0, 33.5, 0.0, phi, 2.8, 5e-3, 0.0);
+    sweep.add_row({util::Table::fmt(phi, 2),
+                   util::Table::fmt(held.longitudinal, 1),
+                   util::Table::fmt(held.lateral, 2),
+                   util::Table::fmt(frozen.lateral, 1),
+                   util::Table::fmt(held.stop_time, 2)});
+  }
+  sweep.print("E7: emergency-stop lateral displacement, lane-hold stop vs "
+              "the paper's frozen steering (33.5 m/s, amax = 6)");
+}
+
+void bm_stopping_distance(benchmark::State& state) {
+  const double v0 = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto d = kinematics::stopping_distance(6.0, v0, 0.0, 0.05, 2.8);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(bm_stopping_distance)->Arg(10)->Arg(20)->Arg(30)->Arg(40);
+
+void bm_stopping_distance_coarse(benchmark::State& state) {
+  // The dt used online by the pipeline's safety evaluation.
+  for (auto _ : state) {
+    auto d = kinematics::stopping_distance(6.0, 33.5, 0.0, 0.05, 2.8, 1e-2);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(bm_stopping_distance_coarse);
+
+void bm_bicycle_step(benchmark::State& state) {
+  kinematics::VehicleState s;
+  s.v = 30.0;
+  kinematics::VehicleParams params;
+  kinematics::Actuation act;
+  act.throttle = 0.3;
+  act.steering = 0.02;
+  for (auto _ : state) {
+    s = kinematics::step(s, act, params, 1.0 / 120.0);
+    benchmark::DoNotOptimize(s);
+    if (s.x > 1e9) s.x = 0.0;
+  }
+}
+BENCHMARK(bm_bicycle_step);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E9 -- BN inference cost (paper §III-B: "BNs enable rapid probabilistic
+// inference, which allows DriveFI to quickly find safety-critical
+// faults"): joint compilation + conditioning latency vs network size, and
+// the unroll-depth ablation (2-TBN vs 3-TBN vs 5-TBN) for both cost and
+// one-step accuracy.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bn/dbn.h"
+#include "core/bayes_model.h"
+#include "core/trace.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace drivefi;
+
+namespace {
+
+// Synthetic chain+confounder network with n nodes.
+bn::LinearGaussianNetwork synthetic_network(std::size_t n) {
+  bn::LinearGaussianNetwork net;
+  util::Rng rng(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = "x" + std::to_string(i);
+    if (i == 0) {
+      net.add_node(name, {}, {}, 0.0, 1.0);
+    } else if (i == 1) {
+      net.add_node(name, {"x0"}, {rng.uniform(-1, 1)}, 0.1, 0.5);
+    } else {
+      net.add_node(name,
+                   {"x" + std::to_string(i - 1), "x" + std::to_string(i - 2)},
+                   {rng.uniform(-0.8, 0.8), rng.uniform(-0.3, 0.3)}, 0.05,
+                   0.3);
+    }
+  }
+  return net;
+}
+
+void bm_joint_compile(benchmark::State& state) {
+  const auto net = synthetic_network(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto joint = net.joint();
+    benchmark::DoNotOptimize(joint);
+  }
+}
+BENCHMARK(bm_joint_compile)->Arg(10)->Arg(30)->Arg(60)->Arg(120)->Arg(200);
+
+void bm_posterior(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto net = synthetic_network(n);
+  const std::string last = "x" + std::to_string(n - 1);
+  for (auto _ : state) {
+    auto mean = net.posterior_mean({{"x0", 1.0}, {"x1", 0.5}}, {last});
+    benchmark::DoNotOptimize(mean);
+  }
+}
+BENCHMARK(bm_posterior)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+void bm_do_posterior(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto net = synthetic_network(n);
+  const std::string mid = "x" + std::to_string(n / 2);
+  const std::string last = "x" + std::to_string(n - 1);
+  for (auto _ : state) {
+    auto mean = net.do_posterior_mean({{mid, 2.0}}, {{"x0", 1.0}}, {last});
+    benchmark::DoNotOptimize(mean);
+  }
+}
+BENCHMARK(bm_do_posterior)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+void unroll_depth_report() {
+  auto suite = sim::base_suite();
+  suite.resize(4);
+  ads::PipelineConfig config;
+  config.seed = 91;
+  const auto goldens = core::run_golden_suite(suite, config);
+
+  util::Table table({"unroll depth", "BN nodes", "horizon (scenes)",
+                     "predict MAE true_v (m/s)", "predict wall (us/call)"});
+  for (int slices : {3, 4, 6}) {
+    core::SafetyPredictorConfig pc;
+    pc.slices = slices;
+    const core::SafetyPredictor predictor(goldens, pc);
+    const auto horizon = static_cast<std::size_t>(predictor.horizon());
+
+    util::RunningStats err;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t calls = 0;
+    for (const auto& trace : goldens) {
+      for (std::size_t k = 5; k + horizon < trace.scenes.size(); k += 5) {
+        const auto pred = predictor.predict_nominal(trace, k);
+        if (!pred) continue;
+        err.add(std::abs(pred->predicted_v - trace.scenes[k + horizon].true_v));
+        ++calls;
+      }
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    table.add_row(
+        {util::Table::fmt_int(slices),
+         util::Table::fmt_int(static_cast<long long>(
+             predictor.network().node_count())),
+         util::Table::fmt_int(static_cast<long long>(horizon)),
+         util::Table::fmt(err.mean(), 3),
+         util::Table::fmt(calls ? wall / static_cast<double>(calls) * 1e6
+                                : 0.0,
+                          1)});
+  }
+  table.print("E9: unroll-depth ablation (3/4/6-TBN)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unroll_depth_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

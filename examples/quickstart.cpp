@@ -1,0 +1,54 @@
+// Quickstart: run one driving scenario through the full ADS pipeline,
+// inject a single throttle fault, and classify the outcome.
+//
+//   ./quickstart
+//
+// This is the smallest end-to-end use of the public API: scenario ->
+// golden run -> injected run -> outcome classification.
+#include <cstdio>
+
+#include "core/campaign.h"
+#include "core/outcome.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+
+int main() {
+  // 1. Pick a scenario from the library (lead car cruising ahead).
+  const sim::Scenario scenario = sim::base_suite()[1];
+  std::printf("scenario: %s\n  %s\n", scenario.name.c_str(),
+              scenario.description.c_str());
+
+  // 2. Configure the ADS (defaults mirror an Apollo-like stack: 30 Hz
+  //    perception/planning/control, 10 Hz GPS, EKF fusion, PID smoothing).
+  ads::PipelineConfig config;
+  config.seed = 1;
+
+  // 3. Golden (fault-free) run.
+  const core::GoldenTrace golden = core::run_golden(scenario, config);
+  std::printf("golden run: %zu scenes, final delta_lon = %.1f m, %s\n",
+              golden.scenes.size(), golden.scenes.back().true_delta_lon,
+              golden.scenes.back().collided ? "COLLIDED" : "no collision");
+
+  // 4. Injected run: corrupt the throttle command to its max for one
+  //    second, mid-scenario (paper fault model (b) on A_t).
+  sim::World world(scenario.world);
+  ads::AdsPipeline pipeline(world, config);
+  ads::ValueFault fault;
+  fault.target = "control.throttle";
+  fault.value = 1.0;
+  fault.start_time = 15.0;
+  fault.hold_duration = 1.0;
+  pipeline.arm_value_fault(fault);
+  pipeline.run_for(scenario.duration);
+
+  // 5. Classify against the golden baseline.
+  const core::RunResult result = core::classify_run(
+      golden.scenes, pipeline.scenes(), pipeline.any_module_hung());
+  std::printf("injected run: outcome = %s (%s)\n",
+              core::outcome_name(result.outcome), result.detail.c_str());
+  std::printf("  max actuation divergence: %.3f\n",
+              result.max_actuation_divergence);
+  std::printf("  min delta_lon over run:   %.1f m\n", result.min_delta_lon);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Localization via an extended Kalman filter fusing GPS (position/heading)
+// with IMU + wheel odometry (accel, yaw rate, speed). The paper names EKF
+// sensor fusion as one of the ADS's natural resilience mechanisms
+// (§II-C(b)); the E8 ablation disables it to quantify that claim.
+//
+// State: [x, y, theta, v]. Process model: unicycle driven by measured
+// accel/yaw-rate (control inputs). Measurements: GPS (x, y, theta) and
+// odometry (v).
+#pragma once
+
+#include "ads/messages.h"
+#include "util/matrix.h"
+
+namespace drivefi::ads {
+
+struct EkfConfig {
+  double process_pos_sigma = 0.05;    // m / sqrt(step)
+  double process_heading_sigma = 0.002;
+  double process_speed_sigma = 0.15;
+  double gps_pos_sigma = 0.4;
+  double gps_heading_sigma = 0.01;
+  double odom_speed_sigma = 0.1;
+  // Innovation gate (Mahalanobis distance, per-measurement); rejects
+  // corrupted GPS fixes -- a key masking path for injected faults.
+  double gate = 5.0;
+};
+
+class LocalizationEkf {
+ public:
+  explicit LocalizationEkf(const EkfConfig& config = {});
+
+  void initialize(double x, double y, double theta, double v);
+  bool initialized() const { return initialized_; }
+
+  // Propagate with IMU controls over dt.
+  void predict(const ImuMsg& imu, double dt);
+  // Fuse a GPS fix; returns false if the innovation gate rejected it.
+  bool update_gps(const GpsMsg& gps);
+  // Fuse wheel-odometry speed.
+  bool update_speed(double speed);
+
+  LocalizationMsg estimate(double t) const;
+  const util::Matrix& covariance() const { return p_; }
+
+  // Normalized estimation error squared against ground truth; used by the
+  // EKF consistency property test.
+  double nees(double true_x, double true_y, double true_theta,
+              double true_v) const;
+
+ private:
+  EkfConfig config_;
+  bool initialized_ = false;
+  util::Vector x_ = util::Vector(4);  // [x, y, theta, v]
+  util::Matrix p_;
+};
+
+}  // namespace drivefi::ads

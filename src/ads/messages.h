@@ -1,0 +1,92 @@
+// Message types flowing between ADS modules (the I_t, M_t, W_t, U_{A,t}
+// and A_t of the paper's Fig. 1). Every scalar field that a fault model
+// can corrupt is registered in the FaultRegistry by the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace drivefi::ads {
+
+// --- Sensor inputs (I_t, M_t) ---
+
+struct GpsMsg {
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;
+};
+
+struct ImuMsg {
+  double t = 0.0;
+  double accel = 0.0;     // longitudinal, m/s^2
+  double yaw_rate = 0.0;  // rad/s
+  double speed = 0.0;     // wheel odometry, m/s
+};
+
+// One raw detection from the camera/LiDAR model.
+struct Detection {
+  double x = 0.0;  // world frame (the sensor model pre-registers to map)
+  double y = 0.0;
+  double speed_along = 0.0;  // m/s, along +x (radial-rate style measurement)
+  double length = 4.8;
+  double width = 1.9;
+};
+
+struct DetectionMsg {
+  double t = 0.0;
+  std::vector<Detection> detections;
+  double range_used = 0.0;  // effective sensing range for this frame
+};
+
+// --- Localization output ---
+
+struct LocalizationMsg {
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+  double theta = 0.0;
+  double v = 0.0;
+};
+
+// --- World model (W_t): tracked objects ---
+
+struct TrackedObject {
+  int id = -1;
+  double x = 0.0;
+  double y = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  double length = 4.8;
+  double width = 1.9;
+  int age_frames = 0;  // confirmations; young tracks are tentative
+};
+
+struct WorldModelMsg {
+  double t = 0.0;
+  std::vector<TrackedObject> objects;
+  // Derived scalars for the in-path lead object (the planner's primary
+  // inputs and two of the BN variables). Negative gap = no lead in range.
+  double lead_gap = -1.0;
+  double lead_rel_speed = 0.0;
+};
+
+// --- Planner output (U_{A,t}): raw actuation before PID smoothing ---
+
+struct PlanMsg {
+  double t = 0.0;
+  double target_accel = 0.0;   // u_zeta/u_b combined, m/s^2 (sign = brake)
+  double target_steer = 0.0;   // u_phi, rad
+  double target_speed = 0.0;   // cruise set point after ACC logic, m/s
+};
+
+// --- Controller output (A_t) ---
+
+struct ControlMsg {
+  double t = 0.0;
+  double throttle = 0.0;  // zeta, [0,1]
+  double brake = 0.0;     // b, [0,1]
+  double steering = 0.0;  // phi, rad
+};
+
+}  // namespace drivefi::ads

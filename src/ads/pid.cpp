@@ -1,0 +1,65 @@
+#include "ads/pid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drivefi::ads {
+
+PidController::PidController(const PidConfig& config) : config_(config) {}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+  last_ = ControlMsg{};
+}
+
+ControlMsg PidController::control(const PlanMsg& plan, double measured_accel,
+                                  double measured_speed, double dt, double t) {
+  ControlMsg msg;
+  msg.t = t;
+
+  const double error = plan.target_accel - measured_accel;
+  integral_ = std::clamp(integral_ + error * dt, -config_.integral_limit,
+                         config_.integral_limit);
+  const double derivative =
+      (has_prev_ && dt > 0.0) ? (error - prev_error_) / dt : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+
+  // Feedforward on the target accel plus PID correction, in pedal units.
+  const double u = 0.22 * plan.target_accel + config_.kp * error +
+                   config_.ki * integral_ + config_.kd * derivative;
+
+  double throttle = 0.0;
+  double brake = 0.0;
+  if (plan.target_accel < -config_.brake_deadband || u < -0.02) {
+    brake = std::clamp(-u, 0.0, 1.0);
+  } else {
+    throttle = std::clamp(u, 0.0, 1.0);
+  }
+  // Never accelerate into a standing start the planner asked to hold.
+  if (plan.target_speed <= 0.1 && measured_speed <= 0.5) {
+    throttle = 0.0;
+    brake = std::max(brake, 0.3);
+  }
+
+  // Slew limits against the previous command (the "no sudden changes").
+  const double max_pedal_step = config_.pedal_slew * dt;
+  throttle = std::clamp(throttle, last_.throttle - max_pedal_step,
+                        last_.throttle + max_pedal_step);
+  brake = std::clamp(brake, last_.brake - max_pedal_step,
+                     last_.brake + max_pedal_step);
+  const double max_steer_step = config_.steer_slew * dt;
+  const double steering =
+      std::clamp(plan.target_steer, last_.steering - max_steer_step,
+                 last_.steering + max_steer_step);
+
+  msg.throttle = std::clamp(throttle, 0.0, 1.0);
+  msg.brake = std::clamp(brake, 0.0, 1.0);
+  msg.steering = steering;
+  last_ = msg;
+  return msg;
+}
+
+}  // namespace drivefi::ads

@@ -1,0 +1,48 @@
+// PID control stage: converts the planner's raw actuation U_{A,t} into
+// smoothed vehicle commands A_t (throttle, brake, steering). The paper
+// singles out this stage ("the PID controller ensures that the AV does not
+// make any sudden changes in A_t") as a resilience mechanism: one-frame
+// corruption of U_{A,t} is low-pass filtered before reaching actuators.
+#pragma once
+
+#include "ads/messages.h"
+
+namespace drivefi::ads {
+
+struct PidConfig {
+  // Tuned for a pedal->accel plant with near-instant response (both the
+  // bicycle model and real drive-by-wire respond within a frame). The
+  // derivative gain is zero by default: with a per-frame plant the
+  // (e_k - e_{k-1})/dt term multiplies the loop gain by kd/dt and tips
+  // the discrete loop into instability, and on real stacks it amplifies
+  // frame-rate measurement noise into pedal chatter.
+  double kp = 0.35;           // accel-error -> pedal
+  double ki = 0.05;
+  double kd = 0.0;
+  double integral_limit = 2.0;
+  double pedal_slew = 2.5;    // 1/s, max pedal change rate
+  double steer_slew = 0.7;    // rad/s
+  double brake_deadband = 0.05;  // m/s^2, hysteresis around zero accel
+};
+
+class PidController {
+ public:
+  explicit PidController(const PidConfig& config = {});
+
+  // One control cycle: track plan.target_accel given the measured accel
+  // and speed, slew-limit everything.
+  ControlMsg control(const PlanMsg& plan, double measured_accel,
+                     double measured_speed, double dt, double t);
+
+  void reset();
+  const ControlMsg& last() const { return last_; }
+
+ private:
+  PidConfig config_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+  ControlMsg last_;
+};
+
+}  // namespace drivefi::ads

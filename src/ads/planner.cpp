@@ -1,0 +1,59 @@
+#include "ads/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drivefi::ads {
+
+PlanMsg plan(const LocalizationMsg& ego, const WorldModelMsg& world,
+             double lane_center_y, const PlannerConfig& config, double t) {
+  PlanMsg msg;
+  msg.t = t;
+  msg.target_speed = config.cruise_speed;
+
+  // --- Longitudinal: ACC ---
+  double accel =
+      config.speed_gain * (config.cruise_speed - ego.v);  // cruise term
+
+  if (world.lead_gap >= 0.0) {
+    const double desired_gap =
+        config.standstill_gap + config.time_headway * ego.v;
+    const double gap_error = world.lead_gap - desired_gap;
+    // Following term: close the gap error and match the lead's speed.
+    const double follow_accel =
+        config.accel_gain * gap_error + config.speed_gain * world.lead_rel_speed;
+    accel = std::min(accel, follow_accel);
+    msg.target_speed = std::min(config.cruise_speed,
+                                std::max(0.0, ego.v + world.lead_rel_speed));
+
+    // Braking-distance term: if the lead is closing, compute the constant
+    // deceleration that zeroes the closing speed exactly at the standstill
+    // gap; engage it (with margin) once it becomes urgent. The linear
+    // time-headway policy alone reacts far too late to a fast approach
+    // toward a slow or stopped object (the Tesla-reveal geometry).
+    if (world.lead_rel_speed < 0.0) {
+      const double closing = -world.lead_rel_speed;
+      const double usable =
+          std::max(1.0, world.lead_gap - config.standstill_gap);
+      const double required = closing * closing / (2.0 * usable);
+      if (required > config.braking_urgency_fraction * config.max_plan_decel)
+        accel = std::min(accel, -std::min(required * config.braking_margin,
+                                          config.emergency_decel));
+    }
+
+    if (world.lead_gap < config.emergency_fraction * desired_gap)
+      accel = std::min(accel, -config.emergency_decel);  // emergency braking
+  }
+  msg.target_accel =
+      std::clamp(accel, -config.emergency_decel, config.max_plan_accel);
+
+  // --- Lateral: lane centering ---
+  const double lateral_error = lane_center_y - ego.y;
+  const double heading_error = -ego.theta;  // road runs along +x
+  const double steer =
+      config.lateral_gain * lateral_error + config.heading_gain * heading_error;
+  msg.target_steer = std::clamp(steer, -config.max_steer, config.max_steer);
+  return msg;
+}
+
+}  // namespace drivefi::ads

@@ -1,0 +1,41 @@
+// Planning module: adaptive cruise control (time-headway policy with a
+// braking-distance term) for the longitudinal axis and lane-centering
+// (lateral PD + heading correction) for the lateral axis. Output is the
+// paper's raw actuation U_{A,t} = (target accel, target steer); the PID
+// stage smooths it into A_t.
+#pragma once
+
+#include "ads/messages.h"
+
+namespace drivefi::ads {
+
+struct PlannerConfig {
+  double cruise_speed = 30.0;     // m/s set point on open road
+  double time_headway = 1.8;      // s, desired gap = v * headway + standstill
+  double standstill_gap = 5.0;    // m
+  double max_plan_accel = 2.5;    // m/s^2
+  double max_plan_decel = 6.0;    // m/s^2 (magnitude)
+  double accel_gain = 0.6;        // gap-error -> accel
+  double speed_gain = 0.8;        // speed-error -> accel
+  double lateral_gain = 0.08;     // lateral offset -> steer
+  double heading_gain = 0.9;      // heading error -> steer
+  double max_steer = 0.3;         // rad, planner command limit
+  // Emergency braking: if the gap is under this fraction of the desired
+  // gap, command full deceleration regardless of relative speed.
+  double emergency_fraction = 0.35;
+  // Deceleration available to the emergency/braking-distance paths; may
+  // exceed max_plan_decel (comfort limit) up to the vehicle's physical
+  // braking capability.
+  double emergency_decel = 8.0;
+  // The braking-distance term engages when the deceleration required to
+  // stop closing within the available gap exceeds this fraction of
+  // max_plan_decel; below it, the time-headway policy alone is smoother.
+  double braking_urgency_fraction = 0.3;
+  double braking_margin = 1.2;  // safety factor on the required decel
+};
+
+// One planning cycle. `lane_center_y` is the ego-lane center from the map.
+PlanMsg plan(const LocalizationMsg& ego, const WorldModelMsg& world,
+             double lane_center_y, const PlannerConfig& config, double t);
+
+}  // namespace drivefi::ads

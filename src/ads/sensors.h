@@ -1,0 +1,44 @@
+// Sensor models: GPS, IMU (+wheel odometry), and an object sensor standing
+// in for the camera/LiDAR stack. Each adds Gaussian noise and has the
+// physical limits (range, occlusion) that make the paper's Example 2
+// reproducible: an occluded or out-of-range vehicle simply does not appear
+// in the detection list.
+#pragma once
+
+#include "ads/messages.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace drivefi::ads {
+
+struct GpsNoise {
+  double position_sigma = 0.4;  // m
+  double heading_sigma = 0.01;  // rad
+};
+
+struct ImuNoise {
+  double accel_sigma = 0.05;
+  double yaw_rate_sigma = 0.002;
+  double speed_sigma = 0.1;
+};
+
+struct ObjectSensorConfig {
+  double range = 200.0;        // m
+  double position_sigma = 0.3;
+  double speed_sigma = 0.3;
+  bool model_occlusion = true;
+  double dropout_probability = 0.01;  // per-object per-frame miss
+};
+
+GpsMsg sense_gps(const sim::World& world, const GpsNoise& noise,
+                 util::Rng& rng);
+
+ImuMsg sense_imu(const sim::World& world, const ImuNoise& noise,
+                 util::Rng& rng);
+
+// Detections of all TVs within range and not occluded by a nearer TV in
+// approximately the same bearing corridor.
+DetectionMsg sense_objects(const sim::World& world,
+                           const ObjectSensorConfig& config, util::Rng& rng);
+
+}  // namespace drivefi::ads

@@ -1,0 +1,43 @@
+#include "ads/watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drivefi::ads {
+
+Watchdog::Watchdog(const WatchdogConfig& config) : config_(config) {}
+
+void Watchdog::reset() {
+  engaged_ = false;
+  engaged_at_ = -1.0;
+  steering_ = 0.0;
+}
+
+std::optional<ControlMsg> Watchdog::monitor(double control_age,
+                                            double last_steering, double dt,
+                                            double t) {
+  if (!config_.enabled) return std::nullopt;
+
+  if (!engaged_) {
+    if (control_age <= config_.staleness_threshold) return std::nullopt;
+    engaged_ = true;
+    engaged_at_ = t;
+    steering_ = last_steering;
+  }
+
+  // Minimal-risk maneuver: firm braking, steering released toward zero at
+  // a bounded rate (yanking it to zero instantly would itself be a
+  // lateral hazard at speed).
+  const double max_step = config_.steer_release_rate * dt;
+  steering_ -= std::clamp(steering_, -max_step, max_step);
+  if (std::abs(steering_) < 1e-6) steering_ = 0.0;
+
+  ControlMsg msg;
+  msg.t = t;
+  msg.throttle = 0.0;
+  msg.brake = config_.brake_level;
+  msg.steering = steering_;
+  return msg;
+}
+
+}  // namespace drivefi::ads

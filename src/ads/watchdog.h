@@ -1,0 +1,50 @@
+// Safing watchdog: the backup system the paper credits for recovery from
+// hangs and crashes ("it is expected that recovery from such faults can be
+// done with the backup/redundant systems that are present in AVs today").
+// It monitors the freshness of the primary control path and, when the
+// control channel goes stale beyond a threshold, takes over actuation with
+// a minimal-risk maneuver: brake at a firm pedal level and release
+// steering toward zero. The E8 ablation toggles it to quantify how much of
+// the stack's hang tolerance this backup provides.
+#pragma once
+
+#include <optional>
+
+#include "ads/messages.h"
+
+namespace drivefi::ads {
+
+struct WatchdogConfig {
+  bool enabled = true;
+  // A control command older than this is treated as a dead control path.
+  // Default is three control periods at 30 Hz.
+  double staleness_threshold = 0.1;  // s
+  double brake_level = 0.6;          // pedal, maps to ~firm deceleration
+  double steer_release_rate = 0.7;   // rad/s toward zero
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& config = {});
+
+  // One monitoring cycle. `control_age` is the age of the newest control
+  // command, `last_steering` the steering currently applied. Returns the
+  // override command when engaged, otherwise nullopt (primary path is
+  // healthy). Once engaged the watchdog latches: a revived control module
+  // does not get actuation back (matches safety-architecture practice --
+  // a module that died mid-drive is not trusted again without a reset).
+  std::optional<ControlMsg> monitor(double control_age, double last_steering,
+                                    double dt, double t);
+
+  bool engaged() const { return engaged_; }
+  double engaged_at() const { return engaged_at_; }
+  void reset();
+
+ private:
+  WatchdogConfig config_;
+  bool engaged_ = false;
+  double engaged_at_ = -1.0;
+  double steering_ = 0.0;
+};
+
+}  // namespace drivefi::ads

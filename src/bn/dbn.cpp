@@ -1,0 +1,79 @@
+#include "bn/dbn.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace drivefi::bn {
+
+void DbnTemplate::add_variable(const std::string& name) {
+  for (const auto& v : variables_)
+    if (v == name) throw std::invalid_argument("duplicate DBN variable: " + name);
+  variables_.push_back(name);
+}
+
+void DbnTemplate::add_intra_edge(const std::string& parent,
+                                 const std::string& child) {
+  intra_edges_.emplace_back(parent, child);
+}
+
+void DbnTemplate::add_inter_edge(const std::string& parent,
+                                 const std::string& child) {
+  inter_edges_.emplace_back(parent, child);
+}
+
+std::string DbnTemplate::slice_name(const std::string& variable, int slice) {
+  return variable + "@" + std::to_string(slice);
+}
+
+std::vector<NodeSpec> DbnTemplate::unrolled_specs(int slices) const {
+  assert(slices >= 1);
+  std::vector<NodeSpec> specs;
+  specs.reserve(variables_.size() * static_cast<std::size_t>(slices));
+  for (int t = 0; t < slices; ++t) {
+    for (const auto& var : variables_) {
+      NodeSpec spec;
+      spec.name = slice_name(var, t);
+      for (const auto& [p, c] : intra_edges_)
+        if (c == var) spec.parents.push_back(slice_name(p, t));
+      if (t > 0)
+        for (const auto& [p, c] : inter_edges_)
+          if (c == var) spec.parents.push_back(slice_name(p, t - 1));
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+Dataset DbnTemplate::unrolled_dataset(const Dataset& trace, int slices,
+                                      int stride) const {
+  assert(slices >= 1 && stride >= 1);
+  Dataset out;
+  for (int t = 0; t < slices; ++t)
+    for (const auto& var : variables_)
+      out.columns.push_back(slice_name(var, t));
+
+  std::vector<std::size_t> var_cols(variables_.size());
+  for (std::size_t i = 0; i < variables_.size(); ++i)
+    var_cols[i] = trace.column_index(variables_[i]);
+
+  if (trace.rows.size() < static_cast<std::size_t>(slices)) return out;
+  const std::size_t windows = trace.rows.size() - slices + 1;
+  for (std::size_t start = 0; start < windows;
+       start += static_cast<std::size_t>(stride)) {
+    std::vector<double> row;
+    row.reserve(out.columns.size());
+    for (int t = 0; t < slices; ++t)
+      for (std::size_t i = 0; i < variables_.size(); ++i)
+        row.push_back(trace.rows[start + t][var_cols[i]]);
+    out.add_row(std::move(row));
+  }
+  return out;
+}
+
+LinearGaussianNetwork DbnTemplate::fit(const Dataset& trace, int slices,
+                                       const FitOptions& options) const {
+  return fit_network(unrolled_specs(slices), unrolled_dataset(trace, slices),
+                     options);
+}
+
+}  // namespace drivefi::bn

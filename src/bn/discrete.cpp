@@ -1,0 +1,327 @@
+#include "bn/discrete.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace drivefi::bn {
+
+namespace {
+
+// Strides for row-major indexing of a factor's value table.
+std::vector<std::size_t> strides(const std::vector<std::size_t>& cards) {
+  std::vector<std::size_t> s(cards.size(), 1);
+  for (std::size_t i = cards.size(); i-- > 1;)
+    s[i - 1] = s[i] * cards[i];
+  return s;
+}
+
+std::size_t table_size(const std::vector<std::size_t>& cards) {
+  std::size_t n = 1;
+  for (std::size_t c : cards) n *= c;
+  return n;
+}
+
+}  // namespace
+
+Factor Factor::product(const Factor& a, const Factor& b) {
+  Factor out;
+  out.scope = a.scope;
+  out.cardinalities = a.cardinalities;
+  for (std::size_t i = 0; i < b.scope.size(); ++i) {
+    if (std::find(out.scope.begin(), out.scope.end(), b.scope[i]) ==
+        out.scope.end()) {
+      out.scope.push_back(b.scope[i]);
+      out.cardinalities.push_back(b.cardinalities[i]);
+    }
+  }
+  out.values.assign(table_size(out.cardinalities), 0.0);
+
+  const auto out_strides = strides(out.cardinalities);
+  // Position of each input-scope var within the output scope.
+  auto positions = [&](const Factor& f) {
+    std::vector<std::size_t> pos(f.scope.size());
+    for (std::size_t i = 0; i < f.scope.size(); ++i)
+      pos[i] = static_cast<std::size_t>(
+          std::find(out.scope.begin(), out.scope.end(), f.scope[i]) -
+          out.scope.begin());
+    return pos;
+  };
+  const auto pos_a = positions(a);
+  const auto pos_b = positions(b);
+  const auto strides_a = strides(a.cardinalities);
+  const auto strides_b = strides(b.cardinalities);
+
+  std::vector<std::size_t> assignment(out.scope.size(), 0);
+  for (std::size_t flat = 0; flat < out.values.size(); ++flat) {
+    std::size_t rem = flat;
+    for (std::size_t i = 0; i < out.scope.size(); ++i) {
+      assignment[i] = rem / out_strides[i];
+      rem %= out_strides[i];
+    }
+    std::size_t ia = 0;
+    for (std::size_t i = 0; i < a.scope.size(); ++i)
+      ia += assignment[pos_a[i]] * strides_a[i];
+    std::size_t ib = 0;
+    for (std::size_t i = 0; i < b.scope.size(); ++i)
+      ib += assignment[pos_b[i]] * strides_b[i];
+    out.values[flat] = a.values[ia] * b.values[ib];
+  }
+  return out;
+}
+
+Factor Factor::marginalize(NodeId var) const {
+  const auto it = std::find(scope.begin(), scope.end(), var);
+  if (it == scope.end()) return *this;
+  const auto idx = static_cast<std::size_t>(it - scope.begin());
+
+  Factor out;
+  for (std::size_t i = 0; i < scope.size(); ++i) {
+    if (i == idx) continue;
+    out.scope.push_back(scope[i]);
+    out.cardinalities.push_back(cardinalities[i]);
+  }
+  out.values.assign(table_size(out.cardinalities), 0.0);
+
+  const auto in_strides = strides(cardinalities);
+  const auto out_strides = strides(out.cardinalities);
+  for (std::size_t flat = 0; flat < values.size(); ++flat) {
+    std::size_t rem = flat;
+    std::size_t out_flat = 0;
+    std::size_t out_i = 0;
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      const std::size_t digit = rem / in_strides[i];
+      rem %= in_strides[i];
+      if (i == idx) continue;
+      out_flat += digit * out_strides[out_i];
+      ++out_i;
+    }
+    out.values[out_flat] += values[flat];
+  }
+  return out;
+}
+
+Factor Factor::reduce(NodeId var, std::size_t value) const {
+  const auto it = std::find(scope.begin(), scope.end(), var);
+  if (it == scope.end()) return *this;
+  const auto idx = static_cast<std::size_t>(it - scope.begin());
+
+  Factor out;
+  for (std::size_t i = 0; i < scope.size(); ++i) {
+    if (i == idx) continue;
+    out.scope.push_back(scope[i]);
+    out.cardinalities.push_back(cardinalities[i]);
+  }
+  out.values.assign(table_size(out.cardinalities), 0.0);
+
+  const auto in_strides = strides(cardinalities);
+  const auto out_strides = strides(out.cardinalities);
+  for (std::size_t flat = 0; flat < values.size(); ++flat) {
+    std::size_t rem = flat;
+    std::size_t out_flat = 0;
+    std::size_t out_i = 0;
+    bool matches = true;
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      const std::size_t digit = rem / in_strides[i];
+      rem %= in_strides[i];
+      if (i == idx) {
+        if (digit != value) {
+          matches = false;
+          break;
+        }
+        continue;
+      }
+      out_flat += digit * out_strides[out_i];
+      ++out_i;
+    }
+    if (matches) out.values[out_flat] += values[flat];
+  }
+  return out;
+}
+
+void Factor::normalize() {
+  double total = 0.0;
+  for (double v : values) total += v;
+  if (total > 0.0)
+    for (double& v : values) v /= total;
+}
+
+NodeId DiscreteNetwork::add_node(const std::string& name,
+                                 std::size_t cardinality,
+                                 const std::vector<std::string>& parents,
+                                 std::vector<double> cpt) {
+  const NodeId id = dag_.add_node(name);
+  std::size_t expected = cardinality;
+  for (const auto& p : parents) {
+    const auto pid = dag_.find(p);
+    if (!pid) throw std::out_of_range("unknown parent: " + p);
+    const bool ok = dag_.add_edge(*pid, id);
+    assert(ok);
+    (void)ok;
+    expected *= cardinalities_[*pid];
+  }
+  if (cpt.size() != expected)
+    throw std::invalid_argument("CPT size mismatch for node " + name);
+  cardinalities_.push_back(cardinality);
+  cpts_.push_back(std::move(cpt));
+  return id;
+}
+
+NodeId DiscreteNetwork::id(const std::string& name) const {
+  const auto found = dag_.find(name);
+  if (!found) throw std::out_of_range("unknown node: " + name);
+  return *found;
+}
+
+Factor DiscreteNetwork::node_factor(NodeId nid) const {
+  Factor f;
+  // Scope order: parents (declared order) then the node itself, matching
+  // the CPT layout (parents slow, node fastest).
+  for (NodeId p : dag_.parents(nid)) {
+    f.scope.push_back(p);
+    f.cardinalities.push_back(cardinalities_[p]);
+  }
+  f.scope.push_back(nid);
+  f.cardinalities.push_back(cardinalities_[nid]);
+  f.values = cpts_[nid];
+  return f;
+}
+
+std::vector<double> DiscreteNetwork::posterior(
+    const std::vector<DiscreteEvidence>& evidence,
+    const std::string& query) const {
+  const NodeId qid = id(query);
+
+  std::vector<NodeId> relevant{qid};
+  std::unordered_map<NodeId, std::size_t> ev;
+  for (const auto& e : evidence) {
+    const NodeId eid = id(e.name);
+    ev[eid] = e.value;
+    relevant.push_back(eid);
+  }
+  // Only ancestors of query/evidence matter (barren-node removal).
+  const std::vector<bool> keep = dag_.ancestral_mask(relevant);
+
+  std::vector<Factor> factors;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (!keep[n]) continue;
+    Factor f = node_factor(n);
+    for (const auto& [eid, val] : ev) f = f.reduce(eid, val);
+    factors.push_back(std::move(f));
+  }
+
+  // Eliminate all kept, non-evidence, non-query variables; min-degree-ish
+  // order: repeatedly pick the variable appearing in the fewest factors.
+  std::vector<NodeId> to_eliminate;
+  for (NodeId n = 0; n < node_count(); ++n)
+    if (keep[n] && n != qid && !ev.contains(n)) to_eliminate.push_back(n);
+
+  while (!to_eliminate.empty()) {
+    std::size_t best_i = 0;
+    std::size_t best_count = SIZE_MAX;
+    for (std::size_t i = 0; i < to_eliminate.size(); ++i) {
+      std::size_t count = 0;
+      for (const auto& f : factors)
+        if (std::find(f.scope.begin(), f.scope.end(), to_eliminate[i]) !=
+            f.scope.end())
+          ++count;
+      if (count < best_count) {
+        best_count = count;
+        best_i = i;
+      }
+    }
+    const NodeId var = to_eliminate[best_i];
+    to_eliminate.erase(to_eliminate.begin() + static_cast<long>(best_i));
+
+    Factor combined;
+    bool first = true;
+    std::vector<Factor> rest;
+    for (auto& f : factors) {
+      if (std::find(f.scope.begin(), f.scope.end(), var) != f.scope.end()) {
+        combined = first ? std::move(f) : Factor::product(combined, f);
+        first = false;
+      } else {
+        rest.push_back(std::move(f));
+      }
+    }
+    if (!first) rest.push_back(combined.marginalize(var));
+    factors = std::move(rest);
+  }
+
+  Factor result;
+  bool first = true;
+  for (auto& f : factors) {
+    result = first ? std::move(f) : Factor::product(result, f);
+    first = false;
+  }
+  result.normalize();
+
+  // result scope should be exactly {qid}.
+  std::vector<double> out(cardinalities_[qid], 0.0);
+  if (result.scope.size() == 1 && result.scope[0] == qid) {
+    out = result.values;
+  }
+  return out;
+}
+
+std::size_t DiscreteNetwork::map_estimate(
+    const std::vector<DiscreteEvidence>& evidence,
+    const std::string& query) const {
+  const auto p = posterior(evidence, query);
+  return static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+DiscreteNetwork DiscreteNetwork::intervene(const std::string& name,
+                                           std::size_t value) const {
+  DiscreteNetwork out = *this;
+  const NodeId nid = out.id(name);
+  out.dag_.sever_parents(nid);
+  std::vector<double> cpt(out.cardinalities_[nid], 0.0);
+  cpt[value] = 1.0;
+  out.cpts_[nid] = std::move(cpt);
+  return out;
+}
+
+std::vector<std::size_t> DiscreteNetwork::sample(util::Rng& rng) const {
+  std::vector<std::size_t> values(node_count(), 0);
+  for (NodeId n : dag_.topological_order()) {
+    const std::size_t card = cardinalities_[n];
+    // Index the CPT row for the sampled parent assignment.
+    std::size_t row = 0;
+    for (NodeId p : dag_.parents(n)) row = row * cardinalities_[p] + values[p];
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t chosen = card - 1;
+    for (std::size_t v = 0; v < card; ++v) {
+      acc += cpts_[n][row * card + v];
+      if (u < acc) {
+        chosen = v;
+        break;
+      }
+    }
+    values[n] = chosen;
+  }
+  return values;
+}
+
+Discretizer::Discretizer(std::size_t bins, double lo, double hi)
+    : bins_(bins), lo_(lo), hi_(hi) {
+  assert(bins >= 1 && hi > lo);
+}
+
+std::size_t Discretizer::encode(double x) const {
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto bin = static_cast<long>(t * static_cast<double>(bins_));
+  return static_cast<std::size_t>(
+      std::clamp<long>(bin, 0, static_cast<long>(bins_) - 1));
+}
+
+double Discretizer::decode(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_);
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+}  // namespace drivefi::bn

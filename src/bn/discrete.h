@@ -1,0 +1,86 @@
+// Discrete (CPT-based) Bayesian network with variable-elimination
+// inference and do-interventions. This exists for the DESIGN.md ablation
+// comparing the paper's continuous formulation against a discretized one
+// (accuracy vs inference-cost trade-off), and to exercise classic BN
+// semantics (collider behaviour, do vs observe) in tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bn/graph.h"
+#include "util/rng.h"
+
+namespace drivefi::bn {
+
+// A factor over a set of discrete variables, values in row-major order of
+// its scope (first scope variable varies slowest).
+struct Factor {
+  std::vector<NodeId> scope;
+  std::vector<std::size_t> cardinalities;  // parallel to scope
+  std::vector<double> values;
+
+  static Factor product(const Factor& a, const Factor& b);
+  Factor marginalize(NodeId var) const;       // sum out
+  Factor reduce(NodeId var, std::size_t value) const;  // fix evidence
+  void normalize();
+};
+
+struct DiscreteEvidence {
+  std::string name;
+  std::size_t value;
+};
+
+class DiscreteNetwork {
+ public:
+  // cpt is indexed with the node's own value varying fastest and parent
+  // assignments (in declared order, first parent slowest) varying slower:
+  // cpt[(parent_index) * cardinality + value].
+  NodeId add_node(const std::string& name, std::size_t cardinality,
+                  const std::vector<std::string>& parents,
+                  std::vector<double> cpt);
+
+  std::size_t node_count() const { return dag_.node_count(); }
+  NodeId id(const std::string& name) const;
+  const std::string& name(NodeId id) const { return dag_.name(id); }
+  std::size_t cardinality(NodeId id) const { return cardinalities_[id]; }
+
+  // Posterior marginal P(query | evidence) by variable elimination
+  // (min-degree ordering over the ancestral subgraph).
+  std::vector<double> posterior(const std::vector<DiscreteEvidence>& evidence,
+                                const std::string& query) const;
+
+  std::size_t map_estimate(const std::vector<DiscreteEvidence>& evidence,
+                           const std::string& query) const;
+
+  // Graph surgery for do(name = value).
+  DiscreteNetwork intervene(const std::string& name, std::size_t value) const;
+
+  // Ancestral sampling.
+  std::vector<std::size_t> sample(util::Rng& rng) const;
+
+ private:
+  Factor node_factor(NodeId id) const;
+
+  Dag dag_;
+  std::vector<std::size_t> cardinalities_;
+  std::vector<std::vector<double>> cpts_;
+};
+
+// Uniform-width discretizer used by the discretized-BN ablation: learns
+// per-column [min, max] from data and maps values to bin indices.
+class Discretizer {
+ public:
+  Discretizer(std::size_t bins, double lo, double hi);
+  std::size_t bins() const { return bins_; }
+  std::size_t encode(double x) const;
+  double decode(std::size_t bin) const;  // bin center
+
+ private:
+  std::size_t bins_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace drivefi::bn

@@ -1,0 +1,125 @@
+#include "bn/dsep.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace drivefi::bn {
+
+namespace {
+
+// Bayes-ball visit state: a node can be entered from a parent (ball moving
+// "down" the edge) or from a child (ball moving "up"); the two directions
+// propagate differently, so they are tracked separately.
+struct Visit {
+  NodeId node;
+  bool from_child;  // true: entered against edge direction (from a child)
+};
+
+// mask[v] == true iff v is a seed or has a seed among its descendants,
+// i.e. v is an ancestor of some seed (walking parent links from the seeds
+// marks exactly the ancestors-of-seeds set, seeds included).
+std::vector<bool> has_seed_descendant(const Dag& dag,
+                                      const std::vector<bool>& seeds) {
+  std::vector<bool> mask(dag.node_count(), false);
+  std::deque<NodeId> queue;
+  for (NodeId n = 0; n < dag.node_count(); ++n)
+    if (seeds[n]) {
+      mask[n] = true;
+      queue.push_back(n);
+    }
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (NodeId p : dag.parents(n))
+      if (!mask[p]) {
+        mask[p] = true;
+        queue.push_back(p);
+      }
+  }
+  return mask;
+}
+
+// Core Bayes-ball reachability from `source` given evidence; returns the
+// set of nodes the ball reaches (d-connected nodes).
+std::vector<bool> bayes_ball(const Dag& dag, NodeId source,
+                             const std::vector<NodeId>& given) {
+  const std::size_t n = dag.node_count();
+  std::vector<bool> observed(n, false);
+  for (NodeId g : given) observed[g] = true;
+
+  // has_observed_descendant[v]: v is observed or has an observed
+  // descendant; a collider passes the ball iff this holds.
+  const std::vector<bool> obs_anc = has_seed_descendant(dag, observed);
+
+  std::vector<bool> visited_down(n, false);  // entered from a parent
+  std::vector<bool> visited_up(n, false);    // entered from a child
+  std::vector<bool> reachable(n, false);
+
+  std::deque<Visit> queue;
+  // The ball starts at the source moving "up" (as if from a virtual child):
+  // this lets it travel to parents and children alike.
+  queue.push_back({source, true});
+
+  while (!queue.empty()) {
+    const Visit v = queue.front();
+    queue.pop_front();
+    auto& visited = v.from_child ? visited_up : visited_down;
+    if (visited[v.node]) continue;
+    visited[v.node] = true;
+    if (v.node != source && !observed[v.node]) reachable[v.node] = true;
+
+    if (v.from_child) {
+      // Ball arrived from a child. If the node is unobserved it bounces to
+      // its parents (chain) and to its children (fork).
+      if (!observed[v.node]) {
+        for (NodeId p : dag.parents(v.node)) queue.push_back({p, true});
+        for (NodeId c : dag.children(v.node)) queue.push_back({c, false});
+      }
+    } else {
+      // Ball arrived from a parent. An unobserved chain node passes it on
+      // to its children; a collider (this same node) bounces it back up to
+      // its parents iff it is observed or has an observed descendant.
+      if (!observed[v.node])
+        for (NodeId c : dag.children(v.node)) queue.push_back({c, false});
+      if (obs_anc[v.node])
+        for (NodeId p : dag.parents(v.node)) queue.push_back({p, true});
+    }
+  }
+  return reachable;
+}
+
+}  // namespace
+
+std::vector<NodeId> markov_blanket(const Dag& dag, NodeId node) {
+  std::vector<bool> in(dag.node_count(), false);
+  for (NodeId p : dag.parents(node)) in[p] = true;
+  for (NodeId c : dag.children(node)) {
+    in[c] = true;
+    for (NodeId cp : dag.parents(c)) in[cp] = true;
+  }
+  in[node] = false;
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < dag.node_count(); ++i)
+    if (in[i]) out.push_back(i);
+  return out;
+}
+
+bool d_separated(const Dag& dag, NodeId a, NodeId b,
+                 const std::vector<NodeId>& given) {
+  if (a == b) return false;
+  for (NodeId g : given)
+    if (g == a || g == b) return true;  // evidence nodes carry no new flow
+  const std::vector<bool> reachable = bayes_ball(dag, a, given);
+  return !reachable[b];
+}
+
+std::vector<NodeId> d_connected_set(const Dag& dag, NodeId source,
+                                    const std::vector<NodeId>& given) {
+  const std::vector<bool> reachable = bayes_ball(dag, source, given);
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < dag.node_count(); ++i)
+    if (reachable[i]) out.push_back(i);
+  return out;
+}
+
+}  // namespace drivefi::bn

@@ -1,0 +1,35 @@
+// d-separation queries over a DAG. The Bayesian FI engine's correctness
+// rests on the causal reading of the 3-TBN: an intervention do(x) can only
+// change variables that are d-connected to x once the evidence set is
+// fixed. This module provides the standard structural queries -- Markov
+// blanket, d-separation via the Bayes-ball algorithm, and the set of nodes
+// a query is d-connected to -- used by tests, diagnostics, and the
+// selector's evidence-pruning logic.
+#pragma once
+
+#include <vector>
+
+#include "bn/graph.h"
+
+namespace drivefi::bn {
+
+// Markov blanket of `node`: parents, children, and children's other
+// parents (each listed once, sorted by id, excluding `node` itself).
+// Conditioning on the blanket renders the node independent of the rest of
+// the network.
+std::vector<NodeId> markov_blanket(const Dag& dag, NodeId node);
+
+// True iff `a` and `b` are d-separated given the evidence set `given`.
+// Implemented with the Bayes-ball reachability algorithm (Shachter 1998):
+// a path is blocked at a chain/fork node that is observed, and at a
+// collider whose descendants (incl. itself) are all unobserved.
+bool d_separated(const Dag& dag, NodeId a, NodeId b,
+                 const std::vector<NodeId>& given);
+
+// All nodes d-connected to `source` given the evidence set (excluding the
+// source itself and the evidence nodes). Sorted by id. A fault injected at
+// `source` can only move the posterior of nodes in this set.
+std::vector<NodeId> d_connected_set(const Dag& dag, NodeId source,
+                                    const std::vector<NodeId>& given);
+
+}  // namespace drivefi::bn

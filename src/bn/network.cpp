@@ -1,0 +1,160 @@
+#include "bn/network.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace drivefi::bn {
+
+using util::Matrix;
+using util::Vector;
+
+NodeId LinearGaussianNetwork::add_node(const std::string& name,
+                                       LinearGaussianCpd cpd) {
+  const NodeId id = dag_.add_node(name);
+  for (NodeId p : cpd.parents) {
+    const bool ok = dag_.add_edge(p, id);
+    assert(ok && "parent edge must keep the graph acyclic");
+    (void)ok;
+  }
+  assert(cpd.parents.size() == cpd.weights.size());
+  cpds_.push_back(std::move(cpd));
+  return id;
+}
+
+NodeId LinearGaussianNetwork::add_node(const std::string& name,
+                                       const std::vector<std::string>& parents,
+                                       const std::vector<double>& weights,
+                                       double bias, double variance) {
+  LinearGaussianCpd cpd;
+  for (const auto& p : parents) cpd.parents.push_back(id(p));
+  cpd.weights = weights;
+  cpd.bias = bias;
+  cpd.variance = variance;
+  return add_node(name, std::move(cpd));
+}
+
+NodeId LinearGaussianNetwork::id(const std::string& name) const {
+  const auto found = dag_.find(name);
+  if (!found) throw std::out_of_range("unknown BN node: " + name);
+  return *found;
+}
+
+MultivariateGaussian LinearGaussianNetwork::joint() const {
+  const std::size_t n = node_count();
+  // Solve mu and Sigma by forward substitution in topological order:
+  //   mu_i   = bias_i + sum_j w_ij mu_pa(j)
+  //   cov(i,k) accumulated from parents' covariances.
+  // This is O(n^2 * max_parents) and avoids forming (I-B)^-1 explicitly.
+  Vector mu(n);
+  Matrix sigma(n, n);
+  for (NodeId i : dag_.topological_order()) {
+    const auto& cpd = cpds_[i];
+    double m = cpd.bias;
+    for (std::size_t j = 0; j < cpd.parents.size(); ++j)
+      m += cpd.weights[j] * mu[cpd.parents[j]];
+    mu[i] = m;
+
+    // cov(i, k) for k != i: sum_j w_ij cov(pa_j, k); then var(i).
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      double c = 0.0;
+      for (std::size_t j = 0; j < cpd.parents.size(); ++j)
+        c += cpd.weights[j] * sigma(cpd.parents[j], k);
+      sigma(i, k) = c;
+      sigma(k, i) = c;
+    }
+    double var = cpd.variance;
+    for (std::size_t j = 0; j < cpd.parents.size(); ++j)
+      for (std::size_t l = 0; l < cpd.parents.size(); ++l)
+        var += cpd.weights[j] * cpd.weights[l] *
+               sigma(cpd.parents[j], cpd.parents[l]);
+    sigma(i, i) = var;
+  }
+  return MultivariateGaussian(std::move(mu), std::move(sigma));
+}
+
+std::vector<double> LinearGaussianNetwork::posterior_mean(
+    const std::vector<Assignment>& evidence,
+    const std::vector<std::string>& query) const {
+  const MultivariateGaussian post = posterior(evidence, query);
+  std::vector<double> out(post.dim());
+  for (std::size_t i = 0; i < post.dim(); ++i) out[i] = post.mean()[i];
+  return out;
+}
+
+MultivariateGaussian LinearGaussianNetwork::posterior(
+    const std::vector<Assignment>& evidence,
+    const std::vector<std::string>& query) const {
+  const MultivariateGaussian j = joint();
+  std::vector<Evidence> ev;
+  ev.reserve(evidence.size());
+  for (const auto& a : evidence) ev.push_back({id(a.name), a.value});
+
+  std::vector<std::size_t> remaining;
+  const MultivariateGaussian cond = j.condition(ev, &remaining);
+
+  // Map joint indices -> position within the conditional.
+  std::unordered_map<std::size_t, std::size_t> pos;
+  for (std::size_t i = 0; i < remaining.size(); ++i) pos[remaining[i]] = i;
+
+  std::vector<std::size_t> pick;
+  pick.reserve(query.size());
+  for (const auto& q : query) {
+    const NodeId qid = id(q);
+    const auto it = pos.find(qid);
+    if (it == pos.end())
+      throw std::invalid_argument("query node is also evidence: " + q);
+    pick.push_back(it->second);
+  }
+  return cond.marginal(pick);
+}
+
+LinearGaussianNetwork LinearGaussianNetwork::intervene(
+    const std::vector<Assignment>& interventions) const {
+  LinearGaussianNetwork out = *this;
+  for (const auto& iv : interventions) {
+    const NodeId nid = out.id(iv.name);
+    out.dag_.sever_parents(nid);
+    auto& cpd = out.cpds_[nid];
+    cpd.parents.clear();
+    cpd.weights.clear();
+    cpd.bias = iv.value;
+    cpd.variance = 0.0;
+  }
+  return out;
+}
+
+std::vector<double> LinearGaussianNetwork::do_posterior_mean(
+    const std::vector<Assignment>& interventions,
+    const std::vector<Assignment>& evidence,
+    const std::vector<std::string>& query) const {
+  const LinearGaussianNetwork mutilated = intervene(interventions);
+  // Evidence on intervened nodes would be redundant/contradictory; drop it.
+  std::vector<Assignment> ev;
+  for (const auto& e : evidence) {
+    bool overridden = false;
+    for (const auto& iv : interventions)
+      if (iv.name == e.name) {
+        overridden = true;
+        break;
+      }
+    if (!overridden) ev.push_back(e);
+  }
+  return mutilated.posterior_mean(ev, query);
+}
+
+std::vector<double> LinearGaussianNetwork::sample(util::Rng& rng) const {
+  std::vector<double> values(node_count(), 0.0);
+  for (NodeId i : dag_.topological_order()) {
+    const auto& cpd = cpds_[i];
+    double m = cpd.bias;
+    for (std::size_t j = 0; j < cpd.parents.size(); ++j)
+      m += cpd.weights[j] * values[cpd.parents[j]];
+    values[i] = cpd.variance > 0.0 ? rng.gaussian(m, std::sqrt(cpd.variance))
+                                   : m;
+  }
+  return values;
+}
+
+}  // namespace drivefi::bn

@@ -1,0 +1,83 @@
+// Linear-Gaussian Bayesian network: every node x_i has CPD
+//   x_i | parents ~ N( bias_i + sum_j w_ij * x_pa(j) , sigma_i^2 ).
+// Supports exact compilation to the joint Gaussian, posterior inference
+// (conditioning), ancestral sampling, and Pearl's do-operator via graph
+// surgery — the three operations the paper's Bayesian FI engine needs
+// (eqs. (1)–(2)).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bn/gaussian.h"
+#include "bn/graph.h"
+#include "util/rng.h"
+
+namespace drivefi::bn {
+
+struct LinearGaussianCpd {
+  std::vector<NodeId> parents;   // must mirror the DAG's parent list
+  std::vector<double> weights;   // one per parent
+  double bias = 0.0;
+  double variance = 1.0;         // >= 0; 0 models deterministic nodes
+};
+
+// Name/value pair used for both evidence and interventions.
+struct Assignment {
+  std::string name;
+  double value;
+};
+
+class LinearGaussianNetwork {
+ public:
+  NodeId add_node(const std::string& name, LinearGaussianCpd cpd = {});
+  // Convenience: parents resolved by name, in the order given.
+  NodeId add_node(const std::string& name,
+                  const std::vector<std::string>& parents,
+                  const std::vector<double>& weights, double bias,
+                  double variance);
+
+  const Dag& dag() const { return dag_; }
+  std::size_t node_count() const { return dag_.node_count(); }
+  NodeId id(const std::string& name) const;
+  const std::string& name(NodeId id) const { return dag_.name(id); }
+  const LinearGaussianCpd& cpd(NodeId id) const { return cpds_[id]; }
+  LinearGaussianCpd& mutable_cpd(NodeId id) { return cpds_[id]; }
+
+  // Joint distribution: mu = (I - B)^-1 b, Sigma = (I-B)^-1 D (I-B)^-T,
+  // where row i of B holds node i's parent weights and D = diag(sigma_i^2).
+  MultivariateGaussian joint() const;
+
+  // Posterior mean (== MLE, paper eq. (2)) of the query nodes given
+  // evidence. Returns values in query order.
+  std::vector<double> posterior_mean(const std::vector<Assignment>& evidence,
+                                     const std::vector<std::string>& query) const;
+
+  // Full posterior over the query nodes.
+  MultivariateGaussian posterior(const std::vector<Assignment>& evidence,
+                                 const std::vector<std::string>& query) const;
+
+  // Pearl's do-operator: returns the mutilated network where each
+  // intervened node has its incoming edges severed and its CPD replaced by
+  // the deterministic constant. Observational conditioning on the result
+  // equals causal inference on the original (paper §II-C).
+  LinearGaussianNetwork intervene(
+      const std::vector<Assignment>& interventions) const;
+
+  // Counterfactual convenience used by the fault selector:
+  // posterior mean of `query` under do(interventions) and evidence.
+  std::vector<double> do_posterior_mean(
+      const std::vector<Assignment>& interventions,
+      const std::vector<Assignment>& evidence,
+      const std::vector<std::string>& query) const;
+
+  // Ancestral sample of all nodes (topological order), keyed by node id.
+  std::vector<double> sample(util::Rng& rng) const;
+
+ private:
+  Dag dag_;
+  std::vector<LinearGaussianCpd> cpds_;
+};
+
+}  // namespace drivefi::bn

@@ -1,0 +1,176 @@
+#include "bn/sampling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drivefi::bn {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+double cpd_mean(const LinearGaussianCpd& cpd,
+                const std::vector<double>& values) {
+  double m = cpd.bias;
+  for (std::size_t j = 0; j < cpd.parents.size(); ++j)
+    m += cpd.weights[j] * values[cpd.parents[j]];
+  return m;
+}
+
+double gaussian_log_pdf(double x, double mean, double variance) {
+  const double d = x - mean;
+  return -0.5 * (kLog2Pi + std::log(variance) + d * d / variance);
+}
+
+std::vector<NodeId> query_ids(const LinearGaussianNetwork& net,
+                              const std::vector<std::string>& query) {
+  std::vector<NodeId> ids;
+  ids.reserve(query.size());
+  for (const auto& q : query) ids.push_back(net.id(q));
+  return ids;
+}
+
+}  // namespace
+
+SamplingResult likelihood_weighting(const LinearGaussianNetwork& net,
+                                    const std::vector<Assignment>& evidence,
+                                    const std::vector<std::string>& query,
+                                    util::Rng& rng,
+                                    const SamplingConfig& config) {
+  const std::size_t n = net.node_count();
+  std::vector<bool> is_evidence(n, false);
+  std::vector<double> clamp(n, 0.0);
+  for (const auto& e : evidence) {
+    const NodeId id = net.id(e.name);
+    is_evidence[id] = true;
+    clamp[id] = e.value;
+  }
+  const std::vector<NodeId> qids = query_ids(net, query);
+  const std::vector<NodeId> order = net.dag().topological_order();
+
+  std::vector<double> weighted_sum(qids.size(), 0.0);
+  double total_weight = 0.0;
+  double total_weight_sq = 0.0;
+
+  std::vector<double> values(n, 0.0);
+  for (std::size_t s = 0; s < config.samples; ++s) {
+    double log_w = 0.0;
+    bool feasible = true;
+    for (NodeId i : order) {
+      const auto& cpd = net.cpd(i);
+      const double mean = cpd_mean(cpd, values);
+      if (is_evidence[i]) {
+        values[i] = clamp[i];
+        if (cpd.variance > 0.0) {
+          log_w += gaussian_log_pdf(clamp[i], mean, cpd.variance);
+        } else if (std::abs(clamp[i] - mean) > 1e-9) {
+          feasible = false;  // deterministic node contradicts evidence
+          break;
+        }
+      } else {
+        values[i] = cpd.variance > 0.0
+                        ? rng.gaussian(mean, std::sqrt(cpd.variance))
+                        : mean;
+      }
+    }
+    if (!feasible) continue;
+    const double w = std::exp(log_w);
+    for (std::size_t q = 0; q < qids.size(); ++q)
+      weighted_sum[q] += w * values[qids[q]];
+    total_weight += w;
+    total_weight_sq += w * w;
+  }
+
+  SamplingResult result;
+  result.mean.resize(qids.size(), 0.0);
+  if (total_weight > 0.0) {
+    for (std::size_t q = 0; q < qids.size(); ++q)
+      result.mean[q] = weighted_sum[q] / total_weight;
+    result.effective_samples = total_weight * total_weight / total_weight_sq;
+  }
+  return result;
+}
+
+SamplingResult gibbs(const LinearGaussianNetwork& net,
+                     const std::vector<Assignment>& evidence,
+                     const std::vector<std::string>& query, util::Rng& rng,
+                     const SamplingConfig& config) {
+  const std::size_t n = net.node_count();
+  std::vector<bool> is_evidence(n, false);
+  std::vector<double> values(n, 0.0);
+  for (const auto& e : evidence) {
+    const NodeId id = net.id(e.name);
+    is_evidence[id] = true;
+    values[id] = e.value;
+  }
+  const std::vector<NodeId> qids = query_ids(net, query);
+  const std::vector<NodeId> order = net.dag().topological_order();
+
+  // Initialize non-evidence nodes by ancestral propagation of means.
+  for (NodeId i : order)
+    if (!is_evidence[i]) values[i] = cpd_mean(net.cpd(i), values);
+
+  // Precompute children lists once (Dag::children scans all nodes).
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId i = 0; i < n; ++i) children[i] = net.dag().children(i);
+
+  std::vector<double> sums(qids.size(), 0.0);
+  std::size_t kept = 0;
+
+  const std::size_t sweeps = config.burn_in + config.samples;
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (NodeId i : order) {
+      if (is_evidence[i]) continue;
+      const auto& cpd = net.cpd(i);
+      if (cpd.variance <= 0.0) {
+        values[i] = cpd_mean(cpd, values);
+        continue;
+      }
+      // Full conditional: prior N(mu_i, var_i) times one Gaussian factor
+      // per child c where x_i enters c's mean with weight w_ci:
+      //   precision = 1/var_i + sum_c w_ci^2 / var_c
+      //   precision*mean = mu_i/var_i + sum_c w_ci (x_c - rest_c) / var_c
+      const double prior_mean = cpd_mean(cpd, values);
+      double precision = 1.0 / cpd.variance;
+      double weighted_mean = prior_mean / cpd.variance;
+      bool pinned = false;
+      for (NodeId c : children[i]) {
+        const auto& ccpd = net.cpd(c);
+        double w_ci = 0.0;
+        double rest = ccpd.bias;
+        for (std::size_t j = 0; j < ccpd.parents.size(); ++j) {
+          if (ccpd.parents[j] == i)
+            w_ci += ccpd.weights[j];
+          else
+            rest += ccpd.weights[j] * values[ccpd.parents[j]];
+        }
+        if (w_ci == 0.0) continue;
+        if (ccpd.variance <= 0.0) {
+          // Deterministic child pins x_i exactly: x_c = rest + w_ci * x_i.
+          values[i] = (values[c] - rest) / w_ci;
+          pinned = true;
+          break;
+        }
+        precision += w_ci * w_ci / ccpd.variance;
+        weighted_mean += w_ci * (values[c] - rest) / ccpd.variance;
+      }
+      if (pinned) continue;
+      const double mean = weighted_mean / precision;
+      values[i] = rng.gaussian(mean, std::sqrt(1.0 / precision));
+    }
+    if (sweep >= config.burn_in) {
+      for (std::size_t q = 0; q < qids.size(); ++q) sums[q] += values[qids[q]];
+      ++kept;
+    }
+  }
+
+  SamplingResult result;
+  result.mean.resize(qids.size(), 0.0);
+  if (kept > 0)
+    for (std::size_t q = 0; q < qids.size(); ++q)
+      result.mean[q] = sums[q] / static_cast<double>(kept);
+  result.effective_samples = static_cast<double>(kept);
+  return result;
+}
+
+}  // namespace drivefi::bn

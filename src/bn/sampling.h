@@ -1,0 +1,50 @@
+// Approximate posterior inference for linear-Gaussian networks:
+// likelihood weighting and Gibbs sampling. The paper's engine needs only
+// the exact joint-Gaussian posterior (network.h), but approximate
+// inference is the path any non-Gaussian extension (vision confidences,
+// discrete failure modes) would have to take, so the ablation in
+// bench_e9 quantifies what exactness buys: these estimators converge to
+// the same posterior mean at O(1/sqrt(samples)) while the exact solver is
+// both faster and noise-free at this network size.
+#pragma once
+
+#include <vector>
+
+#include "bn/network.h"
+#include "util/rng.h"
+
+namespace drivefi::bn {
+
+struct SamplingResult {
+  std::vector<double> mean;  // one per query node, query order
+  double effective_samples = 0.0;  // ESS for likelihood weighting
+};
+
+struct SamplingConfig {
+  std::size_t samples = 2000;
+  std::size_t burn_in = 200;  // Gibbs only
+};
+
+// Likelihood weighting: ancestral-samples non-evidence nodes and weights
+// each particle by the likelihood of the evidence under its CPDs.
+// Evidence nodes are clamped. Deterministic evidence nodes (variance 0)
+// would zero every weight, so their contribution is skipped when the
+// sampled parent configuration reproduces the evidence exactly and the
+// particle is discarded otherwise.
+SamplingResult likelihood_weighting(const LinearGaussianNetwork& net,
+                                    const std::vector<Assignment>& evidence,
+                                    const std::vector<std::string>& query,
+                                    util::Rng& rng,
+                                    const SamplingConfig& config = {});
+
+// Gibbs sampling: resamples each non-evidence node from its full
+// conditional given the current state of its Markov blanket. For
+// linear-Gaussian CPDs the full conditional is Gaussian with closed form,
+// so each sweep is exact. Nodes with deterministic CPDs (variance 0) are
+// recomputed from their parents instead of resampled.
+SamplingResult gibbs(const LinearGaussianNetwork& net,
+                     const std::vector<Assignment>& evidence,
+                     const std::vector<std::string>& query, util::Rng& rng,
+                     const SamplingConfig& config = {});
+
+}  // namespace drivefi::bn

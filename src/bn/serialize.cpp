@@ -1,0 +1,96 @@
+#include "bn/serialize.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace drivefi::bn {
+
+namespace {
+constexpr const char* kMagic = "drivefi-bn";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_network(const LinearGaussianNetwork& net, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << std::setprecision(17);
+  for (NodeId i : net.dag().topological_order()) {
+    const auto& cpd = net.cpd(i);
+    out << "node " << net.name(i) << ' ' << cpd.bias << ' ' << cpd.variance
+        << ' ' << cpd.parents.size();
+    for (std::size_t j = 0; j < cpd.parents.size(); ++j)
+      out << ' ' << net.name(cpd.parents[j]) << ' ' << cpd.weights[j];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("bn::save_network: write failed");
+}
+
+void save_network_file(const LinearGaussianNetwork& net,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("bn::save_network_file: cannot open " + path);
+  save_network(net, out);
+}
+
+LinearGaussianNetwork load_network(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic)
+    throw std::runtime_error("bn::load_network: bad magic header");
+  if (version != kVersion)
+    throw std::runtime_error("bn::load_network: unsupported version " +
+                             std::to_string(version));
+
+  LinearGaussianNetwork net;
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "node")
+      throw std::runtime_error("bn::load_network: expected 'node', got '" +
+                               tag + "'");
+    std::string name;
+    double bias = 0.0;
+    double variance = 0.0;
+    std::size_t num_parents = 0;
+    if (!(in >> name >> bias >> variance >> num_parents))
+      throw std::runtime_error("bn::load_network: truncated node record");
+    if (!std::isfinite(bias) || !std::isfinite(variance) || variance < 0.0)
+      throw std::runtime_error("bn::load_network: invalid CPD for " + name);
+
+    std::vector<std::string> parents;
+    std::vector<double> weights;
+    parents.reserve(num_parents);
+    weights.reserve(num_parents);
+    for (std::size_t j = 0; j < num_parents; ++j) {
+      std::string parent;
+      double weight = 0.0;
+      if (!(in >> parent >> weight) || !std::isfinite(weight))
+        throw std::runtime_error("bn::load_network: truncated parent list of " +
+                                 name);
+      parents.push_back(std::move(parent));
+      weights.push_back(weight);
+    }
+    // add_node resolves parents by name; topological write order
+    // guarantees they already exist. Unknown names throw out_of_range,
+    // which we translate to a format error.
+    try {
+      net.add_node(name, parents, weights, bias, variance);
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error(
+          "bn::load_network: node " + name +
+          " references a parent that does not precede it");
+    }
+  }
+  return net;
+}
+
+LinearGaussianNetwork load_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("bn::load_network_file: cannot open " + path);
+  return load_network(in);
+}
+
+}  // namespace drivefi::bn

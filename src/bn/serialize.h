@@ -1,0 +1,30 @@
+// Text serialization for linear-Gaussian networks. A fitted 3-TBN is the
+// product of hours of golden-trace collection; persisting it lets a
+// campaign be split across processes (fit once, select anywhere) and makes
+// fitted models diffable artifacts. Format is line-oriented and versioned:
+//
+//   drivefi-bn 1
+//   node <name> <bias> <variance> <num_parents> [<parent_name> <weight>]...
+//
+// Nodes appear in topological order so each parent precedes its children.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bn/network.h"
+
+namespace drivefi::bn {
+
+// Writes the network; throws std::runtime_error on stream failure.
+void save_network(const LinearGaussianNetwork& net, std::ostream& out);
+void save_network_file(const LinearGaussianNetwork& net,
+                       const std::string& path);
+
+// Reads a network previously written by save_network; throws
+// std::runtime_error on malformed input (bad magic, unknown parent,
+// truncation, or non-finite values).
+LinearGaussianNetwork load_network(std::istream& in);
+LinearGaussianNetwork load_network_file(const std::string& path);
+
+}  // namespace drivefi::bn

@@ -1,0 +1,104 @@
+// The ADS-specific temporal Bayesian network (paper Fig. 6) and the
+// counterfactual safety predictor built on it. Topology is derived from
+// the ADS architecture (Fig. 1): within a slice, the world model W_t and
+// measurements M_t feed the planner U_{A,t}, which feeds the PID outputs
+// A_t; across slices the actuation and kinematics propagate (red arrows
+// in the paper's figure). Beyond the paper, the template distinguishes
+// the vehicle's TRUE kinematic state from the ADS's BELIEVED one (see
+// ads_dbn_template) so that do() on a corrupted belief propagates through
+// the control chain rather than teleporting the vehicle.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ads/pipeline.h"
+#include "bn/dbn.h"
+#include "core/trace.h"
+#include "kinematics/bicycle.h"
+
+namespace drivefi::core {
+
+// The DBN template over the ten scene variables.
+bn::DbnTemplate ads_dbn_template();
+
+struct SafetyPredictorConfig {
+  // k-TBN unroll. Slice 0 carries pre-fault evidence, slices 1..k-2 hold
+  // the fault, slice k-1 is the query; the prediction horizon (and the
+  // fault hold the campaign replays) is therefore k-2 slices. k = 3 is
+  // the paper's 3-TBN (one-slice hold); the default k = 4 matches the
+  // campaign runner's two-scene stuck-at hold.
+  int slices = 4;
+  double scene_hz = 7.5;    // slice spacing
+  double amax = 6.0;        // emergency-stop deceleration
+  double wheelbase = 2.8;
+  double lane_half_width = 1.85;
+  double ego_half_width = 0.95;
+};
+
+// Counterfactual prediction for one candidate fault at one scene.
+struct DeltaPrediction {
+  double delta_lon = 0.0;     // predicted safety potential under do(f)
+  double delta_lat = 0.0;
+  double predicted_v = 0.0;   // M-hat components (paper eq. (2))
+  double predicted_y = 0.0;
+  double predicted_theta = 0.0;
+  bool critical() const { return delta_lon <= 0.0 || delta_lat <= 0.0; }
+};
+
+class SafetyPredictor {
+ public:
+  // Fits the k-TBN on golden traces.
+  SafetyPredictor(const std::vector<GoldenTrace>& traces,
+                  const SafetyPredictorConfig& config = {});
+  // Uses a pre-fitted network (ablation entry point).
+  SafetyPredictor(bn::LinearGaussianNetwork net,
+                  const SafetyPredictorConfig& config);
+
+  const bn::LinearGaussianNetwork& network() const { return net_; }
+  const SafetyPredictorConfig& config() const { return config_; }
+
+  // Prediction horizon in scenes: how many slices the fault is held and
+  // how far ahead of the injection scene the query lands.
+  int horizon() const { return config_.slices - 2; }
+
+  // Predict delta-hat_do(f) for a fault injected at scene k of a golden
+  // trace and held for horizon() scenes: evidence is scene k-1 (plus the
+  // unreachable part of scene k), the intervention do(variable = value)
+  // is asserted in every hold slice, and the query is M-hat at scene
+  // k + horizon(), combined with the kinematic stopping model and the
+  // ground-truth envelope there. Returns nullopt when the window is out
+  // of range or any window scene has no lead object.
+  std::optional<DeltaPrediction> predict(const GoldenTrace& trace,
+                                         std::size_t scene_index,
+                                         const std::string& variable,
+                                         double value) const;
+
+  // Fault-free one-step prediction (used by the E6 accuracy bench): same
+  // window, no intervention.
+  std::optional<DeltaPrediction> predict_nominal(const GoldenTrace& trace,
+                                                 std::size_t scene_index) const;
+
+  // Ablation: naive conditioning instead of do() -- observes the corrupted
+  // value rather than intervening (demonstrates why causal surgery
+  // matters; see DESIGN.md ablation 3).
+  std::optional<DeltaPrediction> predict_observational(
+      const GoldenTrace& trace, std::size_t scene_index,
+      const std::string& variable, double value) const;
+
+  // Number of BN inference calls made so far (for the E1 cost accounting).
+  std::size_t inference_count() const { return inference_count_; }
+
+ private:
+  std::optional<DeltaPrediction> predict_impl(
+      const GoldenTrace& trace, std::size_t scene_index,
+      const std::string& variable, std::optional<double> value,
+      bool use_do) const;
+
+  bn::LinearGaussianNetwork net_;
+  SafetyPredictorConfig config_;
+  mutable std::size_t inference_count_ = 0;
+};
+
+}  // namespace drivefi::core

@@ -1,0 +1,49 @@
+// Per-variable fault criticality: which ADS module outputs, when
+// corrupted, actually endanger the vehicle. The paper's evaluation
+// discusses exactly this breakdown (throttle/brake/steer corruptions at
+// small safety potential dominate F_crit); this module computes it from a
+// selection result and its full-simulation replay so the ranking reflects
+// validated hazards, not just predictions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/selector.h"
+#include "util/table.h"
+
+namespace drivefi::core {
+
+struct TargetImportance {
+  std::string target;
+  std::size_t selected = 0;        // times the selector flagged it critical
+  std::size_t replayed = 0;        // faults actually replayed in simulation
+  std::size_t hazards = 0;         // replays that manifested as hazards
+  double hazard_precision = 0.0;   // hazards / replayed (0 when unreplayed)
+  double mean_predicted_delta = 0.0;  // mean delta-hat over selections
+  double min_predicted_delta = 0.0;   // most-negative prediction
+  double mean_golden_delta = 0.0;  // how safe the scenes looked pre-fault
+};
+
+struct ImportanceReport {
+  std::vector<TargetImportance> targets;  // sorted by hazards, then selected
+
+  // Share of validated hazards contributed by the top-n targets; the
+  // paper's observation is that this saturates quickly (a handful of
+  // actuation variables dominate).
+  double hazard_share_of_top(std::size_t n) const;
+
+  util::Table to_table() const;
+};
+
+// Joins selection output with replay outcomes. `replayed` must be the
+// CampaignStats returned by CampaignRunner::run_selected_faults for the
+// same fault list (records are matched by position).
+ImportanceReport rank_targets(const std::vector<SelectedFault>& selected,
+                              const CampaignStats& replayed);
+
+// Selection-only variant (no replay outcomes available).
+ImportanceReport rank_targets(const std::vector<SelectedFault>& selected);
+
+}  // namespace drivefi::core

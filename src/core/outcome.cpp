@@ -1,0 +1,92 @@
+#include "core/outcome.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drivefi::core {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked:
+      return "masked";
+    case Outcome::kSdcBenign:
+      return "sdc_benign";
+    case Outcome::kHang:
+      return "hang";
+    case Outcome::kHazard:
+      return "hazard";
+  }
+  return "?";
+}
+
+RunResult classify_run(const std::vector<ads::SceneRecord>& golden,
+                       const std::vector<ads::SceneRecord>& injected,
+                       bool any_module_hung, const ClassifierConfig& config) {
+  RunResult result;
+
+  const std::size_t n = std::min(golden.size(), injected.size());
+  int consecutive_violations = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& g = golden[i];
+    const auto& f = injected[i];
+
+    result.min_delta_lon = std::min(result.min_delta_lon, f.true_delta_lon);
+    result.min_delta_lat = std::min(result.min_delta_lat, f.true_delta_lat);
+
+    const double divergence =
+        std::max({std::abs(f.throttle - g.throttle),
+                  std::abs(f.brake - g.brake), std::abs(f.steer - g.steer)});
+    result.max_actuation_divergence =
+        std::max(result.max_actuation_divergence, divergence);
+
+    const bool golden_safe =
+        !config.require_golden_safe ||
+        (g.true_delta_lon > 0.0 && g.true_delta_lat > 0.0 && !g.collided &&
+         !g.off_road);
+
+    if (!golden_safe) {
+      consecutive_violations = 0;
+      continue;
+    }
+    if (f.collided && !g.collided) {
+      result.collided = true;
+      if (!result.delta_violated && result.hazard_scene_index == 0)
+        result.hazard_scene_index = i;
+    }
+    if (f.off_road && !g.off_road) {
+      result.off_road = true;
+      if (!result.delta_violated && result.hazard_scene_index == 0)
+        result.hazard_scene_index = i;
+    }
+    if (f.true_delta_lon <= 0.0 || f.true_delta_lat <= 0.0) {
+      ++consecutive_violations;
+      if (consecutive_violations >= config.delta_persistence_scenes &&
+          !result.delta_violated) {
+        result.delta_violated = true;
+        result.hazard_scene_index =
+            i + 1 - static_cast<std::size_t>(consecutive_violations);
+      }
+    } else {
+      consecutive_violations = 0;
+    }
+  }
+
+  if (result.collided || result.off_road || result.delta_violated) {
+    result.outcome = Outcome::kHazard;
+    result.detail = result.collided     ? "collision"
+                    : result.off_road   ? "off_road"
+                                        : "delta_violation";
+  } else if (any_module_hung) {
+    result.outcome = Outcome::kHang;
+    result.detail = "module_hang";
+  } else if (result.max_actuation_divergence > config.actuation_epsilon) {
+    result.outcome = Outcome::kSdcBenign;
+    result.detail = "actuation_divergence";
+  } else {
+    result.outcome = Outcome::kMasked;
+    result.detail = "no_observable_effect";
+  }
+  return result;
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,97 @@
+#include "core/report.h"
+
+#include <map>
+
+namespace drivefi::core {
+
+using util::Table;
+
+Table outcome_table(const CampaignStats& stats) {
+  Table table({"outcome", "count", "fraction"});
+  const auto total = static_cast<double>(std::max<std::size_t>(1, stats.total()));
+  table.add_row({"masked", Table::fmt_int(static_cast<long long>(stats.masked)),
+                 Table::fmt_pct(stats.masked / total)});
+  table.add_row(
+      {"sdc_benign", Table::fmt_int(static_cast<long long>(stats.sdc_benign)),
+       Table::fmt_pct(stats.sdc_benign / total)});
+  table.add_row({"hang", Table::fmt_int(static_cast<long long>(stats.hang)),
+                 Table::fmt_pct(stats.hang / total)});
+  table.add_row({"hazard", Table::fmt_int(static_cast<long long>(stats.hazard)),
+                 Table::fmt_pct(stats.hazard / total)});
+  table.add_row({"total", Table::fmt_int(static_cast<long long>(stats.total())),
+                 "100.00%"});
+  return table;
+}
+
+Table per_target_table(const CampaignStats& stats) {
+  // Extract the target name out of "scenario t=... target=value" records.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_target;
+  for (const auto& record : stats.records) {
+    std::string target = "?";
+    const auto pos = record.description.rfind(' ');
+    if (pos != std::string::npos) {
+      const std::string tail = record.description.substr(pos + 1);
+      const auto eq = tail.find('=');
+      target = eq != std::string::npos ? tail.substr(0, eq) : tail;
+    }
+    auto& [count, hazards] = by_target[target];
+    ++count;
+    if (record.outcome == Outcome::kHazard) ++hazards;
+  }
+  Table table({"target", "injections", "hazards", "hazard_rate"});
+  for (const auto& [target, counts] : by_target) {
+    table.add_row({target, Table::fmt_int(static_cast<long long>(counts.first)),
+                   Table::fmt_int(static_cast<long long>(counts.second)),
+                   Table::fmt_pct(static_cast<double>(counts.second) /
+                                  static_cast<double>(counts.first))});
+  }
+  return table;
+}
+
+Table selection_summary_table(const SelectionResult& selection,
+                              double exhaustive_seconds) {
+  Table table({"metric", "value"});
+  table.add_row({"catalog size (faults)",
+                 Table::fmt_int(static_cast<long long>(selection.candidates_total))});
+  table.add_row({"candidates evaluated",
+                 Table::fmt_int(static_cast<long long>(selection.candidates_evaluated))});
+  table.add_row({"critical faults found (F_crit)",
+                 Table::fmt_int(static_cast<long long>(selection.critical.size()))});
+  table.add_row({"BN inference calls",
+                 Table::fmt_int(static_cast<long long>(selection.inference_calls))});
+  table.add_row({"selection wall time (s)", Table::fmt(selection.wall_seconds, 2)});
+  table.add_row({"est. exhaustive simulation (s)",
+                 Table::fmt(exhaustive_seconds, 0)});
+  table.add_row({"est. exhaustive simulation (days)",
+                 Table::fmt(exhaustive_seconds / 86400.0, 1)});
+  const double accel = selection.wall_seconds > 0.0
+                           ? exhaustive_seconds / selection.wall_seconds
+                           : 0.0;
+  table.add_row({"acceleration factor", Table::fmt(accel, 0) + "x"});
+  return table;
+}
+
+Table validation_table(const SelectionResult& selection,
+                       const CampaignStats& replayed,
+                       std::size_t total_scenes) {
+  Table table({"metric", "value"});
+  table.add_row({"Bayesian-selected faults",
+                 Table::fmt_int(static_cast<long long>(selection.critical.size()))});
+  table.add_row({"replayed in full simulation",
+                 Table::fmt_int(static_cast<long long>(replayed.total()))});
+  table.add_row({"manifested as hazards",
+                 Table::fmt_int(static_cast<long long>(replayed.hazard))});
+  const double precision =
+      replayed.total() > 0
+          ? static_cast<double>(replayed.hazard) /
+                static_cast<double>(replayed.total())
+          : 0.0;
+  table.add_row({"hazard precision", Table::fmt_pct(precision)});
+  table.add_row({"distinct safety-critical scenes",
+                 Table::fmt_int(static_cast<long long>(replayed.hazard_scenes.size()))});
+  table.add_row({"total scenes in corpus",
+                 Table::fmt_int(static_cast<long long>(total_scenes))});
+  return table;
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,83 @@
+// Situation library: clusters the scenes where selected faults manifest as
+// hazards into a small set of named driving situations. The paper's
+// discussion motivates exactly this ("combining results from a range of
+// fault injection experiments to create a library of situations will help
+// manufacturers to develop rules and conditions for AV testing and safe
+// driving"); this module is that post-processing step.
+//
+// Each hazardous (scenario, scene) pair is summarized by a kinematic
+// feature vector (ego speed, lead gap, closing speed, time-to-collision,
+// safety potential), clustered with deterministic k-means, and each
+// cluster is rendered as a human-readable rule giving the feature ranges
+// and the fault targets that dominate it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/selector.h"
+#include "core/trace.h"
+#include "util/table.h"
+
+namespace drivefi::core {
+
+// Kinematic summary of one hazardous scene.
+struct SituationFeatures {
+  std::size_t scenario_index = 0;
+  std::size_t scene_index = 0;
+  double ego_speed = 0.0;      // m/s at the scene
+  double lead_gap = 0.0;       // m; horizon-clamped when no lead
+  double closing_speed = 0.0;  // m/s, positive when approaching the lead
+  double time_to_collision = 0.0;  // s, capped; gap / closing speed
+  double delta_lon = 0.0;      // golden safety potential at the scene
+  std::string fault_target;    // the variable whose corruption was critical
+};
+
+// One mined situation: cluster centroid, member count, feature ranges, and
+// the fault targets that appear in the cluster (sorted by frequency).
+struct Situation {
+  std::string label;  // generated, e.g. "close-follow @ 33 m/s"
+  std::size_t support = 0;
+  SituationFeatures centroid;
+  double speed_min = 0.0, speed_max = 0.0;
+  double gap_min = 0.0, gap_max = 0.0;
+  double ttc_min = 0.0, ttc_max = 0.0;
+  std::vector<std::pair<std::string, std::size_t>> target_histogram;
+};
+
+struct SceneLibraryConfig {
+  std::size_t clusters = 4;      // k for k-means (capped at member count)
+  std::size_t max_iterations = 50;
+  double ttc_cap = 30.0;         // s; "no closing" maps to the cap
+  std::uint64_t seed = 1;        // k-means++ style seeding, deterministic
+};
+
+// Extracts features for every selected fault from the golden traces.
+// Faults whose scene index is out of range are skipped.
+std::vector<SituationFeatures> extract_features(
+    const std::vector<SelectedFault>& faults,
+    const std::vector<GoldenTrace>& traces,
+    const SceneLibraryConfig& config = {});
+
+class SceneLibrary {
+ public:
+  // Clusters the features; deterministic for a fixed config.
+  SceneLibrary(std::vector<SituationFeatures> features,
+               const SceneLibraryConfig& config = {});
+
+  const std::vector<Situation>& situations() const { return situations_; }
+
+  // Cluster index for each input feature row, parallel to the input order.
+  const std::vector<std::size_t>& assignments() const { return assignments_; }
+
+  // Render the library as a table (one row per situation, support-sorted).
+  util::Table to_table() const;
+
+ private:
+  std::vector<Situation> situations_;
+  std::vector<std::size_t> assignments_;
+};
+
+}  // namespace drivefi::core

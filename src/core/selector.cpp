@@ -1,0 +1,111 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace drivefi::core {
+
+std::map<std::string, std::string> default_target_to_bn_variable() {
+  return {
+      {"control.throttle", "throttle"},
+      {"control.brake", "brake"},
+      {"control.steering", "steer"},
+      {"plan.target_accel", "u_accel"},
+      {"plan.target_steer", "u_steer"},
+      {"localization.v", "v"},
+      {"imu.speed", "v"},
+      {"localization.theta", "theta"},
+      {"gps.heading", "theta"},
+      {"localization.y", "y_off"},
+      {"world_model.lead_gap", "lead_gap"},
+      {"world_model.lead_rel_speed", "lead_rel_speed"},
+  };
+}
+
+double fault_value_to_bn_value(const CandidateFault& fault,
+                               const std::string& bn_variable) {
+  if (fault.target == "localization.y" && bn_variable == "y_off") {
+    // World y -> offset from the ego lane center (lane 1 at y = 3.7 in
+    // every library scenario).
+    constexpr double kEgoLaneCenter = 3.7;
+    return fault.value - kEgoLaneCenter;
+  }
+  return fault.value;
+}
+
+BayesianFaultSelector::BayesianFaultSelector(
+    const SafetyPredictor& predictor,
+    std::map<std::string, std::string> target_map)
+    : predictor_(predictor), target_map_(std::move(target_map)) {}
+
+SelectionResult BayesianFaultSelector::select(
+    const FaultCatalog& catalog, const std::vector<GoldenTrace>& traces,
+    bool observational) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t inference_before = predictor_.inference_count();
+
+  SelectionResult result;
+  result.candidates_total = catalog.size();
+
+  for (const auto& fault : catalog.faults) {
+    const auto map_it = target_map_.find(fault.target);
+    if (map_it == target_map_.end() ||
+        fault.scenario_index >= traces.size()) {
+      ++result.candidates_skipped;
+      continue;
+    }
+    const GoldenTrace& trace = traces[fault.scenario_index];
+    if (fault.scene_index >= trace.scenes.size()) {
+      ++result.candidates_skipped;
+      continue;
+    }
+    const ads::SceneRecord& scene = trace.scenes[fault.scene_index];
+
+    // Precondition of eq. (1): the scene is safe without the fault.
+    if (scene.true_delta_lon <= 0.0 || scene.true_delta_lat <= 0.0 ||
+        scene.collided || scene.off_road) {
+      ++result.candidates_skipped;
+      continue;
+    }
+
+    const double bn_value = fault_value_to_bn_value(fault, map_it->second);
+    const auto prediction =
+        observational
+            ? predictor_.predict_observational(trace, fault.scene_index,
+                                               map_it->second, bn_value)
+            : predictor_.predict(trace, fault.scene_index, map_it->second,
+                                 bn_value);
+    if (!prediction) {
+      ++result.candidates_skipped;
+      continue;
+    }
+    ++result.candidates_evaluated;
+
+    if (prediction->critical()) {
+      SelectedFault selected;
+      selected.fault = fault;
+      selected.prediction = *prediction;
+      selected.golden_delta_lon = scene.true_delta_lon;
+      selected.golden_delta_lat = scene.true_delta_lat;
+      result.critical.push_back(std::move(selected));
+    }
+  }
+
+  // Most negative predicted delta first (most critical).
+  std::sort(result.critical.begin(), result.critical.end(),
+            [](const SelectedFault& a, const SelectedFault& b) {
+              const double da =
+                  std::min(a.prediction.delta_lon, a.prediction.delta_lat);
+              const double db =
+                  std::min(b.prediction.delta_lon, b.prediction.delta_lat);
+              return da < db;
+            });
+
+  result.inference_calls = predictor_.inference_count() - inference_before;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,65 @@
+// The Bayesian fault-selection engine (the paper's core contribution,
+// eq. (1)): sweep the fault catalog, and for each candidate compute
+// delta-hat_do(f) by counterfactual BN inference; keep the faults where a
+// safe scene (delta > 0) is predicted to become unsafe (delta-hat <= 0).
+// This replaces full-simulation replay of each fault with one (fast) BN
+// inference, which is the source of the paper's ~3690x acceleration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bayes_model.h"
+#include "core/fault_catalog.h"
+#include "core/trace.h"
+
+namespace drivefi::core {
+
+struct SelectedFault {
+  CandidateFault fault;
+  DeltaPrediction prediction;
+  double golden_delta_lon = 0.0;  // scene safety before the fault
+  double golden_delta_lat = 0.0;
+};
+
+struct SelectionResult {
+  std::vector<SelectedFault> critical;  // F_crit, most-negative delta first
+  std::size_t candidates_total = 0;
+  std::size_t candidates_evaluated = 0;
+  std::size_t candidates_skipped = 0;  // unmapped target / no window / no lead
+  double wall_seconds = 0.0;
+  std::size_t inference_calls = 0;
+};
+
+// Mapping from FaultRegistry target names to BN variables. Targets with no
+// BN counterpart (e.g. raw GPS x) are skipped by the selector, mirroring
+// the paper's restriction to the variables its BN models.
+std::map<std::string, std::string> default_target_to_bn_variable();
+
+// Converts a catalog fault's corrupted value into the BN variable's unit
+// (identity except localization.y, which maps to lane offset).
+double fault_value_to_bn_value(const CandidateFault& fault,
+                               const std::string& bn_variable);
+
+class BayesianFaultSelector {
+ public:
+  BayesianFaultSelector(
+      const SafetyPredictor& predictor,
+      std::map<std::string, std::string> target_map =
+          default_target_to_bn_variable());
+
+  // Evaluate every catalog candidate against the golden traces. Scenes
+  // where the golden run was already unsafe are excluded (the fault must
+  // CAUSE the violation). `observational` switches to the no-do ablation.
+  SelectionResult select(const FaultCatalog& catalog,
+                         const std::vector<GoldenTrace>& traces,
+                         bool observational = false) const;
+
+ private:
+  const SafetyPredictor& predictor_;
+  std::map<std::string, std::string> target_map_;
+};
+
+}  // namespace drivefi::core

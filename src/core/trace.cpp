@@ -1,0 +1,49 @@
+#include "core/trace.h"
+
+#include <chrono>
+
+namespace drivefi::core {
+
+GoldenTrace run_golden(const sim::Scenario& scenario,
+                       const ads::PipelineConfig& config,
+                       std::size_t scenario_index) {
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::World world(scenario.world);
+  ads::AdsPipeline pipeline(world, config);
+  pipeline.run_for(scenario.duration);
+
+  GoldenTrace trace;
+  trace.scenario_index = scenario_index;
+  trace.scenario_name = scenario.name;
+  trace.scenes = pipeline.scenes();
+  trace.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return trace;
+}
+
+std::vector<GoldenTrace> run_golden_suite(
+    const std::vector<sim::Scenario>& scenarios,
+    const ads::PipelineConfig& config) {
+  std::vector<GoldenTrace> traces;
+  traces.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    traces.push_back(run_golden(scenarios[i], config, i));
+  return traces;
+}
+
+bn::Dataset traces_to_dataset(const std::vector<GoldenTrace>& traces,
+                              bool require_lead) {
+  bn::Dataset data;
+  data.columns = ads::scene_variable_names();
+  for (const auto& trace : traces) {
+    for (const auto& scene : trace.scenes) {
+      if (require_lead && scene.lead_gap < 0.0) continue;
+      data.add_row(ads::scene_variable_values(scene));
+    }
+  }
+  return data;
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,38 @@
+// Bridges ADS scene logs to BN datasets. Golden (fault-free) traces are
+// the training data for the 3-TBN, exactly as the paper fits its model on
+// fault-free ADS executions.
+#pragma once
+
+#include <vector>
+
+#include "ads/pipeline.h"
+#include "bn/fit.h"
+#include "sim/scenario.h"
+
+namespace drivefi::core {
+
+// A golden run of one scenario: scene log plus bookkeeping.
+struct GoldenTrace {
+  std::size_t scenario_index = 0;
+  std::string scenario_name;
+  std::vector<ads::SceneRecord> scenes;
+  double wall_seconds = 0.0;  // measured cost of the run
+};
+
+// Runs the scenario fault-free and records all scenes.
+GoldenTrace run_golden(const sim::Scenario& scenario,
+                       const ads::PipelineConfig& config,
+                       std::size_t scenario_index = 0);
+
+// Runs all scenarios fault-free.
+std::vector<GoldenTrace> run_golden_suite(
+    const std::vector<sim::Scenario>& scenarios,
+    const ads::PipelineConfig& config);
+
+// Concatenated per-scene BN dataset over all traces. Only scenes with a
+// valid lead object (lead_gap >= 0) are kept when require_lead is set,
+// since lead_gap = -1 sentinel rows would poison the linear fit.
+bn::Dataset traces_to_dataset(const std::vector<GoldenTrace>& traces,
+                              bool require_lead = true);
+
+}  // namespace drivefi::core

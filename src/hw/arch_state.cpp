@@ -1,0 +1,70 @@
+#include "hw/arch_state.h"
+
+#include <cassert>
+
+namespace drivefi::hw {
+
+void ArchState::bind(BoundRegister reg) {
+  registers_.push_back(std::move(reg));
+}
+
+InjectionResult ArchState::inject(std::size_t reg_index, unsigned bit_count,
+                                  util::Rng& rng) {
+  assert(reg_index < registers_.size());
+  std::uint64_t mask = 0;
+  unsigned placed = 0;
+  while (placed < bit_count) {
+    const auto bit = static_cast<unsigned>(rng.uniform_index(64));
+    const std::uint64_t b = 1ULL << bit;
+    if (mask & b) continue;
+    mask |= b;
+    ++placed;
+  }
+  return apply(registers_[reg_index], mask);
+}
+
+InjectionResult ArchState::inject_bit(std::size_t reg_index, unsigned bit) {
+  assert(reg_index < registers_.size());
+  return apply(registers_[reg_index], 1ULL << (bit & 63U));
+}
+
+InjectionResult ArchState::apply(const BoundRegister& reg,
+                                 std::uint64_t flip_mask) {
+  InjectionResult result;
+  result.original = reg.get();
+
+  const std::uint64_t original_bits = double_to_bits(result.original);
+
+  if (reg.protection == Protection::kSecded) {
+    SecdedWord word = secded_encode(original_bits);
+    // Apply the flips to the stored codeword's data bits, then decode as
+    // the next read would.
+    word.data ^= flip_mask;
+    const SecdedStatus status = secded_decode(word);
+    switch (status) {
+      case SecdedStatus::kClean:
+      case SecdedStatus::kCorrected:
+        result.masked = true;
+        result.corrupted = result.original;
+        return result;
+      case SecdedStatus::kDetectedDouble:
+        // Detected-uncorrectable: the update is dropped (machine-check
+        // style); the variable keeps its previous value.
+        result.detected = true;
+        result.corrupted = result.original;
+        return result;
+    }
+  }
+
+  const double corrupted = bits_to_double(original_bits ^ flip_mask);
+  result.corrupted = corrupted;
+  result.kind = classify_corruption(result.original, corrupted);
+  if (result.kind == CorruptionKind::kNone) {
+    result.masked = true;
+    return result;
+  }
+  reg.set(corrupted);
+  return result;
+}
+
+}  // namespace drivefi::hw

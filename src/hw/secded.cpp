@@ -1,0 +1,111 @@
+#include "hw/secded.h"
+
+#include <array>
+
+namespace drivefi::hw {
+
+namespace {
+
+// Hamming positions run 1..71; power-of-two positions hold check bits and
+// the remaining 64 positions hold data bits in increasing order.
+constexpr unsigned kCodeBits = 71;
+
+constexpr bool is_power_of_two(unsigned x) { return x && !(x & (x - 1)); }
+
+// data bit index -> Hamming position.
+constexpr std::array<unsigned, 64> make_data_positions() {
+  std::array<unsigned, 64> map{};
+  unsigned next = 0;
+  for (unsigned pos = 1; pos <= kCodeBits && next < 64; ++pos) {
+    if (!is_power_of_two(pos)) map[next++] = pos;
+  }
+  return map;
+}
+
+constexpr std::array<unsigned, 64> kDataPosition = make_data_positions();
+
+// check bit index (0..6) -> Hamming position (1,2,4,...).
+constexpr std::array<unsigned, 7> kCheckPosition = {1, 2, 4, 8, 16, 32, 64};
+
+bool code_bit(const SecdedWord& w, unsigned pos) {
+  for (unsigned i = 0; i < 7; ++i)
+    if (kCheckPosition[i] == pos) return (w.check >> i) & 1U;
+  for (unsigned i = 0; i < 64; ++i)
+    if (kDataPosition[i] == pos) return (w.data >> i) & 1U;
+  return false;
+}
+
+void toggle_code_bit(SecdedWord& w, unsigned pos) {
+  for (unsigned i = 0; i < 7; ++i)
+    if (kCheckPosition[i] == pos) {
+      w.check ^= static_cast<std::uint8_t>(1U << i);
+      return;
+    }
+  for (unsigned i = 0; i < 64; ++i)
+    if (kDataPosition[i] == pos) {
+      w.data ^= 1ULL << i;
+      return;
+    }
+}
+
+// Recomputed check bits from data only (check positions excluded); check
+// bit i covers Hamming positions with bit i set.
+std::uint8_t compute_check(std::uint64_t data) {
+  std::uint8_t check = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    if ((data >> i) & 1U) {
+      const unsigned pos = kDataPosition[i];
+      for (unsigned c = 0; c < 7; ++c)
+        if (pos & (1U << c)) check ^= static_cast<std::uint8_t>(1U << c);
+    }
+  }
+  return check;
+}
+
+std::uint8_t compute_parity(const SecdedWord& w) {
+  unsigned ones = 0;
+  for (unsigned pos = 1; pos <= kCodeBits; ++pos) ones += code_bit(w, pos);
+  return static_cast<std::uint8_t>(ones & 1U);
+}
+
+}  // namespace
+
+SecdedWord secded_encode(std::uint64_t data) {
+  SecdedWord w;
+  w.data = data;
+  w.check = compute_check(data);
+  w.parity = compute_parity(w);
+  return w;
+}
+
+SecdedStatus secded_decode(SecdedWord& word) {
+  const std::uint8_t syndrome = compute_check(word.data) ^ word.check;
+  const bool parity_bad = compute_parity(word) != word.parity;
+
+  if (syndrome == 0 && !parity_bad) return SecdedStatus::kClean;
+
+  if (parity_bad) {
+    // Odd number of flipped bits: assume single-bit error. A nonzero
+    // syndrome names the flipped Hamming position; a zero syndrome means
+    // the overall parity bit itself flipped.
+    if (syndrome != 0 && syndrome <= kCodeBits)
+      toggle_code_bit(word, syndrome);
+    word.check = compute_check(word.data);
+    word.parity = compute_parity(word);
+    return SecdedStatus::kCorrected;
+  }
+  // Even number of flips with a nonzero syndrome: double error.
+  return SecdedStatus::kDetectedDouble;
+}
+
+void secded_flip(SecdedWord& word, unsigned position) {
+  if (position < 64) {
+    word.data ^= 1ULL << position;
+  } else if (position < 71) {
+    word.check ^= static_cast<std::uint8_t>(1U << (position - 64));
+  } else {
+    word.parity ^= 1U;
+  }
+}
+
+}  // namespace drivefi::hw

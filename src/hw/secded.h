@@ -1,0 +1,35 @@
+// SECDED (single-error-correct, double-error-detect) Hamming code over a
+// 64-bit payload — the protection the paper assumes on memory and caches
+// ("Memory and caches ... are assumed to be protected with SECDED codes",
+// §II-C). The hardware injector uses this to model why memory faults are
+// masked while unprotected register/pipeline state is not.
+#pragma once
+
+#include <cstdint>
+
+namespace drivefi::hw {
+
+// 64 data bits + 7 Hamming check bits + 1 overall parity bit = 72 bits.
+struct SecdedWord {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;   // 7 Hamming check bits
+  std::uint8_t parity = 0;  // overall parity (1 bit)
+};
+
+enum class SecdedStatus {
+  kClean,          // no error
+  kCorrected,      // single-bit error corrected
+  kDetectedDouble, // double-bit error detected, not correctable
+};
+
+SecdedWord secded_encode(std::uint64_t data);
+
+// Decode in place; returns what the decoder observed. After kCorrected the
+// word holds the corrected data.
+SecdedStatus secded_decode(SecdedWord& word);
+
+// Fault helpers for tests/campaigns: flip a bit of the codeword. Positions
+// 0..63 hit data, 64..70 hit check bits, 71 hits the parity bit.
+void secded_flip(SecdedWord& word, unsigned position);
+
+}  // namespace drivefi::hw

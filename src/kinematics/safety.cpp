@@ -1,0 +1,86 @@
+#include "kinematics/safety.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drivefi::kinematics {
+
+SafetyEnvelope safety_envelope(const VehicleState& ev,
+                               const VehicleParams& ev_params,
+                               const std::vector<ObstacleView>& obstacles,
+                               double ego_lane_center_y,
+                               const SafetyConfig& config) {
+  SafetyEnvelope env;
+  env.d_safe_lon = config.horizon;
+
+  const double cos_h = std::cos(ev.theta);
+  const double sin_h = std::sin(ev.theta);
+
+  // Lateral margin to the Ego-lane boundaries (lane edges are static
+  // objects per the paper, so crossing one exhausts the lateral envelope).
+  const double half_lane = config.lane_width / 2.0;
+  const double half_width = ev_params.width / 2.0;
+  const double off_center = ev.y - ego_lane_center_y;
+  double lat_margin =
+      std::max(0.0, half_lane - std::abs(off_center) - half_width);
+
+  for (std::size_t i = 0; i < obstacles.size(); ++i) {
+    const ObstacleView& obs = obstacles[i];
+    // Obstacle position in the EV body frame.
+    const double dx = obs.x - ev.x;
+    const double dy = obs.y - ev.y;
+    const double lon = dx * cos_h + dy * sin_h;
+    const double lat = -dx * sin_h + dy * cos_h;
+
+    const double half_widths =
+        half_width + obs.width / 2.0 + config.lateral_corridor;
+    const double half_lengths = (ev_params.length + obs.length) / 2.0;
+
+    if (lon > 0.0 && std::abs(lat) < half_widths) {
+      // In the forward corridor: limits the longitudinal envelope. The
+      // envelope credits the obstacle's own (worst-case braking)
+      // trajectory: a lead moving away adds its stopping distance.
+      const double gap =
+          std::max(0.0, lon - half_lengths - config.standstill_margin);
+      const double v_along =
+          obs.v * std::cos(obs.theta - ev.theta);  // along ego heading
+      const double trajectory_credit =
+          v_along > 0.0
+              ? v_along * v_along / (2.0 * config.obstacle_amax)
+              : 0.0;
+      const double free_distance = gap + trajectory_credit;
+      if (free_distance < env.d_safe_lon) {
+        env.d_safe_lon = free_distance;
+        env.limiting_obstacle = i;
+      }
+    } else if (std::abs(lon) < half_lengths) {
+      // Abeam of the EV: limits the lateral envelope.
+      const double side_gap =
+          std::max(0.0, std::abs(lat) - half_width - obs.width / 2.0);
+      lat_margin = std::min(lat_margin, side_gap);
+    }
+  }
+
+  env.d_safe_lat = lat_margin;
+  return env;
+}
+
+SafetyPotential safety_potential(const SafetyEnvelope& envelope,
+                                 const StoppingDistance& dstop) {
+  SafetyPotential sp;
+  sp.longitudinal = envelope.d_safe_lon - dstop.longitudinal;
+  sp.lateral = envelope.d_safe_lat - std::abs(dstop.lateral);
+  return sp;
+}
+
+SafetyPotential compute_safety_potential(
+    const VehicleState& ev, const VehicleParams& ev_params,
+    const std::vector<ObstacleView>& obstacles, double ego_lane_center_y,
+    const SafetyConfig& config) {
+  const SafetyEnvelope env = safety_envelope(ev, ev_params, obstacles,
+                                             ego_lane_center_y, config);
+  const StoppingDistance dstop = stopping_distance(ev, ev_params);
+  return safety_potential(env, dstop);
+}
+
+}  // namespace drivefi::kinematics

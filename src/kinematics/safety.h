@@ -1,0 +1,76 @@
+// Safety envelope d_safe and safety potential delta (paper §II-B,
+// Definitions 1–3). d_safe is the distance the EV can travel without
+// colliding with any static or dynamic object; lane boundaries of the Ego
+// lane count as static objects so lane violations register as hazards.
+// delta = d_safe - d_stop, evaluated independently in the longitudinal and
+// lateral directions; the AV is safe iff both are > 0.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kinematics/bicycle.h"
+#include "kinematics/stopping.h"
+
+namespace drivefi::kinematics {
+
+// Minimal kinematic view of a non-ego object; sim/ fills these from the
+// ground-truth world, ads/ fills them from the tracked world model, so the
+// same safety code evaluates both true and believed safety.
+struct ObstacleView {
+  double x = 0.0;
+  double y = 0.0;
+  double theta = 0.0;
+  double v = 0.0;
+  double length = 4.8;
+  double width = 1.9;
+};
+
+struct SafetyEnvelope {
+  double d_safe_lon = 0.0;  // m, free distance straight ahead
+  double d_safe_lat = 0.0;  // m, min lateral margin (obstacles + ego lane)
+  // Which obstacle bounds the longitudinal envelope (index into the input
+  // list), if any; used by reports and the Bayesian selector's diagnostics.
+  std::optional<std::size_t> limiting_obstacle;
+};
+
+struct SafetyPotential {
+  double longitudinal = 0.0;  // m, delta_lon
+  double lateral = 0.0;       // m, delta_lat
+  bool safe() const { return longitudinal > 0.0 && lateral > 0.0; }
+};
+
+struct SafetyConfig {
+  double lane_width = 3.7;        // m, US highway lane
+  double horizon = 250.0;         // m, sensing horizon; caps d_safe
+  double lateral_corridor = 0.4;  // m, slack added around body widths when
+                                  // deciding if an obstacle is "in path"
+  double standstill_margin = 2.0; // m, bumper gap treated as collision-free
+  // Deceleration assumed for dynamic obstacles when projecting their
+  // trajectories (paper §II-B: production ADSs estimate object
+  // trajectories when computing d_safe). A moving lead extends the
+  // envelope by its own stopping distance, RSS-style.
+  double obstacle_amax = 6.0;
+};
+
+// Computes d_safe from the EV state and obstacle list. ego_lane_center_y
+// is the lateral center of the Ego lane in world frame (the simulator uses
+// straight lanes along +x; curved roads are handled by mapping into lane
+// frame before calling).
+SafetyEnvelope safety_envelope(const VehicleState& ev,
+                               const VehicleParams& ev_params,
+                               const std::vector<ObstacleView>& obstacles,
+                               double ego_lane_center_y,
+                               const SafetyConfig& config = {});
+
+// delta = d_safe - d_stop (Definition 3).
+SafetyPotential safety_potential(const SafetyEnvelope& envelope,
+                                 const StoppingDistance& dstop);
+
+// Full pipeline: envelope + stopping distance + potential.
+SafetyPotential compute_safety_potential(
+    const VehicleState& ev, const VehicleParams& ev_params,
+    const std::vector<ObstacleView>& obstacles, double ego_lane_center_y,
+    const SafetyConfig& config = {});
+
+}  // namespace drivefi::kinematics

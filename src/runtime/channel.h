@@ -1,0 +1,55 @@
+// Typed single-writer pub/sub channel, modeled on the latest-value
+// semantics of Apollo's Cyber RT: consumers read the most recent message;
+// there is no queueing (an ADS always acts on the freshest state).
+// Channels are also the fault-injection surface — a post-publish hook can
+// corrupt the message in place, exactly where the paper's injector
+// corrupts "the variables that store ADS outputs" (§II-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace drivefi::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void publish(T message, double now) {
+    if (hook_) hook_(message, now);
+    latest_ = std::move(message);
+    ++sequence_;
+    last_publish_time_ = now;
+  }
+
+  bool has_message() const { return latest_.has_value(); }
+  const T& latest() const { return *latest_; }
+  T& mutable_latest() { return *latest_; }
+  std::uint64_t sequence() const { return sequence_; }
+  double last_publish_time() const { return last_publish_time_; }
+
+  // Age of the freshest message; stale channels are how module hangs
+  // manifest to consumers.
+  double age(double now) const {
+    return has_message() ? now - last_publish_time_ : 1e18;
+  }
+
+  using Hook = std::function<void(T&, double)>;
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+  void clear_hook() { hook_ = nullptr; }
+
+ private:
+  std::string name_;
+  std::optional<T> latest_;
+  std::uint64_t sequence_ = 0;
+  double last_publish_time_ = -1.0;
+  Hook hook_;
+};
+
+}  // namespace drivefi::runtime

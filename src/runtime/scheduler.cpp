@@ -1,0 +1,49 @@
+#include "runtime/scheduler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace drivefi::runtime {
+
+void Scheduler::add_module(const std::string& name, double rate_hz,
+                           std::function<void(double)> tick_fn) {
+  assert(rate_hz > 0.0 && rate_hz <= base_hz_);
+  const auto period =
+      static_cast<std::uint64_t>(std::llround(base_hz_ / rate_hz));
+  assert(period >= 1);
+  entries_.push_back({name, period, std::move(tick_fn), true});
+}
+
+void Scheduler::set_enabled(const std::string& name, bool enabled) {
+  for (auto& e : entries_)
+    if (e.name == name) e.enabled = enabled;
+}
+
+bool Scheduler::enabled(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return e.enabled;
+  return false;
+}
+
+void Scheduler::set_post_module_hook(std::function<void(double)> hook) {
+  post_module_hook_ = std::move(hook);
+}
+
+void Scheduler::step() {
+  const double t = now();
+  for (auto& e : entries_) {
+    if (!e.enabled) continue;
+    if (tick_ % e.period_ticks == 0) {
+      e.tick_fn(t);
+      if (post_module_hook_) post_module_hook_(t);
+    }
+  }
+  ++tick_;
+}
+
+void Scheduler::run_for(double seconds) {
+  const auto ticks = static_cast<std::uint64_t>(std::llround(seconds * base_hz_));
+  for (std::uint64_t i = 0; i < ticks; ++i) step();
+}
+
+}  // namespace drivefi::runtime

@@ -1,0 +1,22 @@
+// Oriented-bounding-box collision test (separating axis theorem) for
+// vehicle bodies. Exact for the rectangles we model; no broad-phase is
+// needed at this scene scale.
+#pragma once
+
+namespace drivefi::sim {
+
+struct Obb {
+  double cx = 0.0;      // center, world frame
+  double cy = 0.0;
+  double heading = 0.0; // rad
+  double half_length = 2.4;
+  double half_width = 0.95;
+};
+
+bool obb_overlap(const Obb& a, const Obb& b);
+
+// Shortest center distance at which these two boxes could touch along the
+// line connecting their centers (coarse bound used for near-miss stats).
+double center_distance(const Obb& a, const Obb& b);
+
+}  // namespace drivefi::sim

@@ -1,0 +1,30 @@
+#include "sim/idm.h"
+
+#include <cmath>
+
+namespace drivefi::sim {
+
+double idm_accel(const IdmConfig& config, double v, double gap,
+                 double lead_v) {
+  const double free_term =
+      std::pow(std::max(0.0, v) / std::max(config.desired_speed, 0.1),
+               config.exponent);
+
+  double interaction = 0.0;
+  if (gap >= 0.0) {
+    const double closing = v - lead_v;
+    const double s_star =
+        config.min_gap +
+        std::max(0.0, v * config.time_headway +
+                          v * closing /
+                              (2.0 * std::sqrt(config.max_accel *
+                                               config.comfort_decel)));
+    const double ratio = s_star / std::max(gap, 0.1);
+    interaction = ratio * ratio;
+  }
+
+  const double accel = config.max_accel * (1.0 - free_term - interaction);
+  return std::clamp(accel, -config.hard_decel_cap, config.max_accel);
+}
+
+}  // namespace drivefi::sim

@@ -1,0 +1,29 @@
+// Intelligent Driver Model (Treiber, Hennecke & Helbing 2000): reactive
+// car-following for target vehicles. The scripted TvPhase behaviours cover
+// the paper's two case studies, where TV motion is fully prescribed; IDM
+// gives the parametric scenario suite reactive traffic, so injected ego
+// misbehaviour provokes realistic responses (a cut-in TV brakes when the
+// faulty ego accelerates into it) instead of scripted indifference.
+#pragma once
+
+#include <algorithm>
+
+namespace drivefi::sim {
+
+struct IdmConfig {
+  double desired_speed = 33.0;   // v0, m/s
+  double time_headway = 1.5;     // T, s
+  double min_gap = 2.0;          // s0, m
+  double max_accel = 1.8;        // a, m/s^2
+  double comfort_decel = 2.5;    // b, m/s^2
+  double exponent = 4.0;         // delta, free-road exponent
+  double hard_decel_cap = 9.0;   // physical braking limit, m/s^2
+};
+
+// IDM acceleration for a follower at speed v with bumper-to-bumper gap
+// `gap` (meters) to a leader moving at lead_v. Pass gap < 0 for an open
+// road (free-flow term only). The result is clamped to
+// [-hard_decel_cap, max_accel].
+double idm_accel(const IdmConfig& config, double v, double gap, double lead_v);
+
+}  // namespace drivefi::sim

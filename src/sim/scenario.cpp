@@ -1,0 +1,259 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+namespace drivefi::sim {
+
+namespace {
+
+TvConfig cruising_tv(const std::string& name, double gap, int lane,
+                     double speed) {
+  TvConfig tv;
+  tv.name = name;
+  tv.initial_gap = gap;
+  tv.initial_lane = lane;
+  tv.initial_speed = speed;
+  tv.phases.push_back({0.0, speed, 2.0, std::nullopt, 3.0});
+  return tv;
+}
+
+}  // namespace
+
+Scenario example1_lead_lane_change(double ego_speed) {
+  // Paper Fig. 4, Example 1: the EV cruises at highway speed; TV#1
+  // (human-driven) initiates a lane change INTO the ego lane at a small
+  // gap, shrinking the safety potential from ~20 m to ~2 m. Fault-free,
+  // the EV brakes and recovers; a throttle corruption injected in that
+  // window makes braking (even at amax) insufficient.
+  Scenario s;
+  s.name = "example1_lead_lane_change";
+  s.description =
+      "Adjacent vehicle changes lanes into a small gap ahead of the ego, "
+      "collapsing the safety potential; the critical window for throttle "
+      "faults.";
+  s.duration = 30.0;
+  s.world.ego_lane = 1;
+  s.world.ego_speed = ego_speed;
+
+  // TV#1 runs slightly slower one lane over (the planner holds the ego at
+  // its 30 m/s cruise set point, so speeds are chosen against that); by
+  // t = 12 s the gap has tightened to ~13 m when it merges in front of
+  // the EV.
+  TvConfig merger = cruising_tv("tv1", 25.0, 2, ego_speed - 4.0);
+  merger.phases.push_back({12.0, ego_speed - 4.0, 1.5, 1, 3.5});
+  s.world.vehicles.push_back(merger);
+
+  // Leading traffic in the ego lane: with traffic ahead, a stuck-throttle
+  // ego cannot simply out-accelerate the merging vehicle and escape
+  // forward -- the configuration the paper's Example 1 makes hazardous.
+  s.world.vehicles.push_back(cruising_tv("tv0", 70.0, 1, ego_speed - 3.5));
+
+  s.world.vehicles.push_back(cruising_tv("tv2", -30.0, 0, ego_speed - 2.0));
+  return s;
+}
+
+Scenario example2_tesla_reveal(double ego_speed) {
+  // Paper Fig. 4, Example 2 (the Tesla Autopilot crash): the lead vehicle
+  // TV#1 changes lanes and reveals a much slower TV#2 ahead; a fault that
+  // delays perception of TV#2 recreates the fatal outcome.
+  Scenario s;
+  s.name = "example2_tesla_reveal";
+  s.description =
+      "Lead vehicle changes lane late, revealing a near-stopped vehicle; "
+      "perception delay converts a recoverable scene into a crash.";
+  s.duration = 30.0;
+  s.world.ego_lane = 1;
+  s.world.ego_speed = ego_speed;
+
+  // TV#1 cruises at ego speed 45 m ahead and evades left at t = 5 s,
+  // just before it would reach the slow vehicle itself.
+  TvConfig lead = cruising_tv("tv1", 45.0, 1, ego_speed);
+  lead.phases.push_back({5.0, ego_speed, 2.0, 2, 3.0});  // evade left
+  s.world.vehicles.push_back(lead);
+
+  // TV#2: slow vehicle far ahead in the ego lane, hidden behind TV#1
+  // until the lane change. Geometry leaves the fault-free EV just enough
+  // braking room at the reveal (~100 m at ~23 m/s closing); a perception
+  // fault that delays detection removes that margin and recreates the
+  // crash.
+  TvConfig slow = cruising_tv("tv2", 250.0, 1, 10.0);
+  s.world.vehicles.push_back(slow);
+  return s;
+}
+
+std::vector<Scenario> base_suite() {
+  std::vector<Scenario> suite;
+
+  {
+    Scenario s;
+    s.name = "open_road";
+    s.description = "No traffic; pure lane keeping at highway speed.";
+    s.duration = 40.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 30.0;
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "lead_cruise";
+    s.description = "Steady car following behind a slightly slower lead.";
+    s.duration = 40.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 31.0;
+    s.world.vehicles.push_back(cruising_tv("lead", 50.0, 1, 29.0));
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "lead_brake";
+    s.description = "Lead vehicle brakes hard mid-scenario.";
+    s.duration = 40.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 30.0;
+    TvConfig lead = cruising_tv("lead", 55.0, 1, 30.0);
+    lead.phases.push_back({15.0, 12.0, 5.0, std::nullopt, 3.0});
+    lead.phases.push_back({25.0, 26.0, 2.0, std::nullopt, 3.0});
+    s.world.vehicles.push_back(lead);
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "stop_and_go";
+    s.description = "Lead repeatedly decelerates and accelerates.";
+    s.duration = 45.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 25.0;
+    TvConfig lead = cruising_tv("lead", 40.0, 1, 25.0);
+    lead.phases.push_back({8.0, 10.0, 3.5, std::nullopt, 3.0});
+    lead.phases.push_back({16.0, 24.0, 2.5, std::nullopt, 3.0});
+    lead.phases.push_back({26.0, 8.0, 4.0, std::nullopt, 3.0});
+    lead.phases.push_back({34.0, 22.0, 2.5, std::nullopt, 3.0});
+    s.world.vehicles.push_back(lead);
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "cut_in";
+    s.description = "Adjacent vehicle cuts into the ego lane at a small gap.";
+    s.duration = 35.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 30.0;
+    // The cutter paces the ego so the 18 m gap holds until the cut.
+    TvConfig cutter = cruising_tv("cutter", 18.0, 2, 30.0);
+    cutter.phases.push_back({10.0, 27.5, 2.0, 1, 3.5});
+    s.world.vehicles.push_back(cutter);
+    s.world.vehicles.push_back(cruising_tv("far_lead", 120.0, 1, 28.0));
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "dense_traffic";
+    s.description = "Traffic in all lanes; boxed-in following.";
+    s.duration = 40.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 28.0;
+    s.world.vehicles.push_back(cruising_tv("lead", 50.0, 1, 27.5));
+    s.world.vehicles.push_back(cruising_tv("left", 5.0, 2, 28.0));
+    s.world.vehicles.push_back(cruising_tv("right", -8.0, 0, 27.5));
+    // The rear car follows reactively (IDM): when the ego brakes to open
+    // its headway, a scripted constant-speed follower would rear-end it,
+    // which is not the hazard this scenario is about.
+    TvConfig rear = cruising_tv("rear", -25.0, 1, 28.5);
+    rear.phases.clear();
+    rear.idm = IdmConfig{.desired_speed = 28.5};
+    s.world.vehicles.push_back(rear);
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "slow_truck";
+    s.description = "Approach a much slower long vehicle in lane.";
+    s.duration = 40.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 32.0;
+    TvConfig truck = cruising_tv("truck", 160.0, 1, 20.0);
+    truck.length = 14.0;
+    truck.width = 2.4;
+    s.world.vehicles.push_back(truck);
+    suite.push_back(s);
+  }
+  suite.push_back(example1_lead_lane_change());
+  suite.push_back(example2_tesla_reveal());
+  {
+    Scenario s;
+    s.name = "double_cut_in";
+    s.description = "Two consecutive cut-ins from opposite lanes.";
+    s.duration = 40.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 29.0;
+    TvConfig c1 = cruising_tv("c1", 20.0, 2, 28.5);
+    c1.phases.push_back({8.0, 27.0, 2.0, 1, 3.0});
+    c1.phases.push_back({20.0, 29.0, 2.0, 2, 3.0});
+    // c2 overtakes on the right, then cuts in ahead and slows.
+    TvConfig c2 = cruising_tv("c2", -15.0, 0, 31.0);
+    c2.phases.push_back({22.0, 26.0, 2.0, 1, 3.0});
+    s.world.vehicles.push_back(c1);
+    s.world.vehicles.push_back(c2);
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "stalled_vehicle";
+    s.description = "Stationary vehicle in lane from the start.";
+    s.duration = 30.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 27.0;
+    TvConfig stalled = cruising_tv("stalled", 220.0, 1, 0.0);
+    stalled.phases.clear();
+    s.world.vehicles.push_back(stalled);
+    suite.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "lead_accelerates_away";
+    s.description = "Lead pulls away; gap opens continuously (benign).";
+    s.duration = 35.0;
+    s.world.ego_lane = 1;
+    s.world.ego_speed = 28.0;
+    TvConfig lead = cruising_tv("lead", 30.0, 1, 28.0);
+    lead.phases.push_back({5.0, 36.0, 2.0, std::nullopt, 3.0});
+    s.world.vehicles.push_back(lead);
+    suite.push_back(s);
+  }
+  return suite;
+}
+
+std::size_t scene_count(const Scenario& scenario, double frame_hz) {
+  return static_cast<std::size_t>(std::floor(scenario.duration * frame_hz));
+}
+
+std::vector<Scenario> parametric_suite(std::size_t target_scenes,
+                                       double frame_hz) {
+  std::vector<Scenario> out;
+  std::size_t total = 0;
+  // Cycle through the base suite with speed offsets until the corpus is
+  // large enough; each variant is a distinct scenario instance.
+  const std::vector<Scenario> base = base_suite();
+  const double speed_offsets[] = {0.0, -3.0, 2.0, -5.0, 4.0};
+  for (int round = 0; total < target_scenes && round < 64; ++round) {
+    for (const auto& proto : base) {
+      if (total >= target_scenes) break;
+      Scenario s = proto;
+      const double offset =
+          speed_offsets[static_cast<std::size_t>(round) %
+                        (sizeof(speed_offsets) / sizeof(double))];
+      s.name = proto.name + "_v" + std::to_string(round);
+      s.world.ego_speed = std::max(10.0, s.world.ego_speed + offset);
+      for (auto& tv : s.world.vehicles) {
+        tv.initial_speed = std::max(0.0, tv.initial_speed + offset);
+        for (auto& ph : tv.phases)
+          ph.target_speed = std::max(0.0, ph.target_speed + offset);
+      }
+      total += scene_count(s, frame_hz);
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace drivefi::sim

@@ -1,0 +1,37 @@
+// Scenario library: named driving situations used across campaigns,
+// including the paper's two §II-D case studies (throttle-corruption crash
+// and the Tesla-Autopilot-like reveal) plus a parametric suite that scales
+// the number of scenes to the paper's 7200-scene corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/world.h"
+
+namespace drivefi::sim {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  WorldConfig world;
+  double duration = 40.0;  // s
+};
+
+// The two case studies from the paper (Fig. 4).
+Scenario example1_lead_lane_change(double ego_speed = 33.5);
+Scenario example2_tesla_reveal(double ego_speed = 33.5);
+
+// Core hand-written suite (~a dozen situations: cruise, lead braking,
+// cut-in, stop-and-go, open road, dense traffic, ...).
+std::vector<Scenario> base_suite();
+
+// Parametric expansion of the base suite over ego speeds and gaps; used to
+// reach a target number of scenes (frames) at the given frame rate.
+std::vector<Scenario> parametric_suite(std::size_t target_scenes,
+                                       double frame_hz = 7.5);
+
+// Number of scenes (frames) a scenario contributes at the given rate.
+std::size_t scene_count(const Scenario& scenario, double frame_hz);
+
+}  // namespace drivefi::sim

@@ -1,0 +1,130 @@
+// Ground-truth world of the driving simulator: a straight multi-lane
+// highway along +x, the ego vehicle (EV, bicycle-model dynamics), and
+// scripted target vehicles (TVs). This substitutes for the proprietary
+// driving simulator the paper ran DriveAV/Apollo against; scenes here are
+// what the paper calls "scenes" (one per frame).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kinematics/bicycle.h"
+#include "kinematics/safety.h"
+#include "sim/collision.h"
+#include "sim/idm.h"
+
+namespace drivefi::sim {
+
+struct RoadConfig {
+  int lanes = 3;
+  double lane_width = 3.7;  // m
+  // Lane 0 center is y = 0; lane i center is i * lane_width.
+  double lane_center(int lane) const { return lane * lane_width; }
+  double left_edge() const { return (lanes - 0.5) * lane_width; }
+  double right_edge() const { return -0.5 * lane_width; }
+};
+
+// One phase of a target vehicle's script. The TV holds the latest phase
+// whose start_time has passed: speed ramps toward target_speed at `accel`,
+// and an optional lane change blends laterally over lane_change_duration.
+struct TvPhase {
+  double start_time = 0.0;
+  double target_speed = 0.0;
+  double accel = 2.0;  // magnitude, m/s^2
+  std::optional<int> target_lane;
+  double lane_change_duration = 3.0;
+};
+
+struct TvConfig {
+  std::string name;
+  double initial_gap = 30.0;   // m ahead of ego start (negative = behind)
+  int initial_lane = 1;
+  double initial_speed = 30.0;
+  double length = 4.8;
+  double width = 1.9;
+  std::vector<TvPhase> phases;
+  // When set, longitudinal motion is reactive IDM car-following against
+  // the nearest same-lane leader (another TV or the ego) instead of the
+  // scripted phase speed ramp; phases still drive lane changes.
+  std::optional<IdmConfig> idm;
+};
+
+struct TargetVehicle {
+  TvConfig config;
+  double x = 0.0;
+  double y = 0.0;
+  double v = 0.0;
+  double heading = 0.0;
+  // Lane-change bookkeeping.
+  int active_phase = -1;
+  double lane_change_start_time = -1.0;
+  double lane_change_start_y = 0.0;
+
+  kinematics::ObstacleView view() const {
+    return {x, y, heading, v, config.length, config.width};
+  }
+  Obb obb() const {
+    return {x, y, heading, config.length / 2.0, config.width / 2.0};
+  }
+};
+
+struct WorldConfig {
+  RoadConfig road;
+  int ego_lane = 1;
+  double ego_speed = 30.0;
+  kinematics::VehicleParams ego_params;
+  std::vector<TvConfig> vehicles;
+};
+
+// Outcome flags evaluated every step.
+struct WorldStatus {
+  bool collided = false;
+  bool off_road = false;
+  std::optional<std::size_t> collided_with;  // TV index
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  // Advance by dt with the given ego actuation. Returns the status after
+  // the step (sticky: once collided, stays collided).
+  const WorldStatus& step(const kinematics::Actuation& ego_actuation,
+                          double dt);
+
+  double time() const { return time_; }
+  const kinematics::VehicleState& ego() const { return ego_; }
+  kinematics::VehicleState& mutable_ego() { return ego_; }
+  const kinematics::VehicleParams& ego_params() const { return config_.ego_params; }
+  const RoadConfig& road() const { return config_.road; }
+  const std::vector<TargetVehicle>& vehicles() const { return vehicles_; }
+  const WorldStatus& status() const { return status_; }
+
+  // Ground-truth obstacle list (all TVs).
+  std::vector<kinematics::ObstacleView> obstacle_views() const;
+
+  // Ego lane (nearest lane center) and its center y.
+  int ego_lane() const;
+  double ego_lane_center_y() const;
+
+  // True (ground-truth) safety envelope / potential of the current scene.
+  kinematics::SafetyEnvelope true_safety_envelope() const;
+  kinematics::SafetyPotential true_safety_potential() const;
+
+ private:
+  void step_vehicle(TargetVehicle& tv, double dt);
+  void evaluate_status();
+  // Bumper-to-bumper gap and speed of the nearest vehicle (TV or ego)
+  // ahead of `tv` in its lane; gap < 0 when the lane ahead is clear.
+  std::pair<double, double> leader_of(const TargetVehicle& tv) const;
+
+  WorldConfig config_;
+  kinematics::VehicleState ego_;
+  std::vector<TargetVehicle> vehicles_;
+  WorldStatus status_;
+  double time_ = 0.0;
+};
+
+}  // namespace drivefi::sim

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Not thread-safe by design: the runtime scheduler
+// is single-threaded and deterministic (see src/runtime), so logging order
+// is part of the reproducible trace.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace drivefi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace drivefi::util
+
+#define DFI_LOG_DEBUG ::drivefi::util::internal::LogLine(::drivefi::util::LogLevel::kDebug)
+#define DFI_LOG_INFO ::drivefi::util::internal::LogLine(::drivefi::util::LogLevel::kInfo)
+#define DFI_LOG_WARN ::drivefi::util::internal::LogLine(::drivefi::util::LogLevel::kWarn)
+#define DFI_LOG_ERROR ::drivefi::util::internal::LogLine(::drivefi::util::LogLevel::kError)

@@ -1,0 +1,60 @@
+// Streaming statistics helpers used by campaign reports and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace drivefi::util {
+
+// Welford's online mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile over a retained sample (fine at campaign scale).
+class Percentiles {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  // q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace drivefi::util

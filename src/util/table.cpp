@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace drivefi::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  auto emit_sep = [&] {
+    os << "+";
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << "+";
+    }
+    os << "\n";
+  };
+  emit_sep();
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%s", to_ascii().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace drivefi::util

@@ -1,0 +1,30 @@
+// ASCII table and CSV emission. The benchmark binaries use this to print
+// rows in the same shape as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drivefi::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int precision = 2);
+
+  std::string to_ascii() const;
+  std::string to_csv() const;
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace drivefi::util

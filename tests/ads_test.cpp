@@ -1,0 +1,557 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ads/ekf.h"
+#include "ads/pid.h"
+#include "ads/planner.h"
+#include "ads/sensors.h"
+#include "ads/tracker.h"
+#include "ads/watchdog.h"
+#include "sim/world.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace drivefi::ads {
+namespace {
+
+// ---------- Sensors ----------
+
+sim::WorldConfig world_with_lead(double gap, double lead_speed,
+                                 int lead_lane = 1) {
+  sim::WorldConfig config;
+  config.ego_lane = 1;
+  config.ego_speed = 30.0;
+  sim::TvConfig tv;
+  tv.name = "lead";
+  tv.initial_gap = gap;
+  tv.initial_lane = lead_lane;
+  tv.initial_speed = lead_speed;
+  tv.phases.push_back({0.0, lead_speed, 2.0, std::nullopt, 3.0});
+  config.vehicles.push_back(tv);
+  return config;
+}
+
+TEST(Sensors, GpsNearTruth) {
+  sim::World world(world_with_lead(50.0, 28.0));
+  util::Rng rng(1);
+  GpsNoise noise;
+  util::RunningStats err_x;
+  for (int i = 0; i < 500; ++i) {
+    const GpsMsg msg = sense_gps(world, noise, rng);
+    err_x.add(msg.x - world.ego().x);
+  }
+  EXPECT_NEAR(err_x.mean(), 0.0, 0.1);
+  EXPECT_NEAR(err_x.stddev(), noise.position_sigma, 0.05);
+}
+
+TEST(Sensors, ImuMeasuresYawRate) {
+  sim::World world(world_with_lead(50.0, 28.0));
+  world.mutable_ego().phi = 0.1;
+  world.mutable_ego().v = 20.0;
+  util::Rng rng(2);
+  ImuNoise noise;
+  noise.yaw_rate_sigma = 0.0;
+  const ImuMsg msg = sense_imu(world, noise, rng);
+  EXPECT_NEAR(msg.yaw_rate, 20.0 * std::tan(0.1) / 2.8, 1e-9);
+}
+
+TEST(Sensors, ObjectsWithinRangeDetected) {
+  sim::World world(world_with_lead(50.0, 28.0));
+  util::Rng rng(3);
+  ObjectSensorConfig config;
+  config.dropout_probability = 0.0;
+  const DetectionMsg msg = sense_objects(world, config, rng);
+  ASSERT_EQ(msg.detections.size(), 1u);
+  EXPECT_NEAR(msg.detections[0].x, 50.0, 1.5);
+}
+
+TEST(Sensors, OutOfRangeInvisible) {
+  sim::World world(world_with_lead(300.0, 28.0));
+  util::Rng rng(4);
+  ObjectSensorConfig config;
+  config.range = 200.0;
+  config.dropout_probability = 0.0;
+  EXPECT_TRUE(sense_objects(world, config, rng).detections.empty());
+}
+
+TEST(Sensors, OcclusionHidesVehicleBehindLead) {
+  // Ego, lead at 40 m, hidden vehicle at 100 m, all same lane.
+  sim::WorldConfig config = world_with_lead(40.0, 28.0);
+  sim::TvConfig hidden;
+  hidden.name = "hidden";
+  hidden.initial_gap = 100.0;
+  hidden.initial_lane = 1;
+  hidden.initial_speed = 2.0;
+  config.vehicles.push_back(hidden);
+
+  sim::World world(config);
+  util::Rng rng(5);
+  ObjectSensorConfig sensor;
+  sensor.dropout_probability = 0.0;
+  const DetectionMsg msg = sense_objects(world, sensor, rng);
+  ASSERT_EQ(msg.detections.size(), 1u);  // only the lead
+  EXPECT_NEAR(msg.detections[0].x, 40.0, 1.5);
+
+  // Without occlusion modeling both are visible.
+  sensor.model_occlusion = false;
+  EXPECT_EQ(sense_objects(world, sensor, rng).detections.size(), 2u);
+}
+
+TEST(Sensors, AdjacentLaneNotOccluding) {
+  sim::WorldConfig config = world_with_lead(40.0, 28.0, /*lead_lane=*/2);
+  sim::TvConfig far;
+  far.name = "far";
+  far.initial_gap = 100.0;
+  far.initial_lane = 1;
+  far.initial_speed = 20.0;
+  config.vehicles.push_back(far);
+
+  sim::World world(config);
+  util::Rng rng(6);
+  ObjectSensorConfig sensor;
+  sensor.dropout_probability = 0.0;
+  EXPECT_EQ(sense_objects(world, sensor, rng).detections.size(), 2u);
+}
+
+// ---------- EKF ----------
+
+TEST(Ekf, InitializesFromFirstGps) {
+  LocalizationEkf ekf;
+  EXPECT_FALSE(ekf.initialized());
+  GpsMsg gps;
+  gps.x = 10.0;
+  gps.y = 3.7;
+  gps.heading = 0.01;
+  ekf.update_gps(gps);
+  EXPECT_TRUE(ekf.initialized());
+  EXPECT_NEAR(ekf.estimate(0.0).x, 10.0, 1e-9);
+}
+
+TEST(Ekf, TracksConstantVelocityTruth) {
+  LocalizationEkf ekf;
+  util::Rng rng(7);
+  const double v = 25.0;
+  double true_x = 0.0;
+  ekf.initialize(0.0, 0.0, 0.0, v);
+
+  const double dt = 1.0 / 60.0;
+  util::RunningStats err;
+  for (int i = 0; i < 1200; ++i) {  // 20 s
+    true_x += v * dt;
+    ImuMsg imu;
+    imu.accel = rng.gaussian(0.0, 0.05);
+    imu.yaw_rate = rng.gaussian(0.0, 0.002);
+    imu.speed = v + rng.gaussian(0.0, 0.1);
+    ekf.predict(imu, dt);
+    ekf.update_speed(imu.speed);
+    if (i % 6 == 0) {  // 10 Hz GPS
+      GpsMsg gps;
+      gps.x = true_x + rng.gaussian(0.0, 0.4);
+      gps.y = rng.gaussian(0.0, 0.4);
+      gps.heading = rng.gaussian(0.0, 0.01);
+      ekf.update_gps(gps);
+    }
+    if (i > 300) err.add(ekf.estimate(0.0).x - true_x);
+  }
+  EXPECT_LT(std::abs(err.mean()), 0.3);
+  EXPECT_LT(err.stddev(), 0.5);
+}
+
+TEST(Ekf, FusionBeatsRawGps) {
+  // The fused position error must be smaller than the raw GPS sigma --
+  // the quantitative content of the paper's "EKF resilience" claim.
+  LocalizationEkf ekf;
+  util::Rng rng(8);
+  const double v = 30.0;
+  double true_x = 0.0;
+  ekf.initialize(0.0, 0.0, 0.0, v);
+  const double dt = 1.0 / 60.0;
+  util::RunningStats fused_err, raw_err;
+  for (int i = 0; i < 3000; ++i) {
+    true_x += v * dt;
+    ImuMsg imu;
+    imu.accel = rng.gaussian(0.0, 0.05);
+    imu.yaw_rate = rng.gaussian(0.0, 0.002);
+    imu.speed = v + rng.gaussian(0.0, 0.1);
+    ekf.predict(imu, dt);
+    ekf.update_speed(imu.speed);
+    if (i % 6 == 0) {
+      GpsMsg gps;
+      gps.x = true_x + rng.gaussian(0.0, 0.4);
+      gps.y = rng.gaussian(0.0, 0.4);
+      gps.heading = rng.gaussian(0.0, 0.01);
+      ekf.update_gps(gps);
+      if (i > 600) raw_err.add(gps.x - true_x);
+    }
+    if (i > 600) fused_err.add(ekf.estimate(0.0).x - true_x);
+  }
+  EXPECT_LT(fused_err.stddev(), raw_err.stddev());
+}
+
+TEST(Ekf, GateRejectsWildGps) {
+  LocalizationEkf ekf;
+  ekf.initialize(100.0, 3.7, 0.0, 30.0);
+  // Settle the covariance a bit.
+  ImuMsg imu;
+  imu.speed = 30.0;
+  for (int i = 0; i < 60; ++i) {
+    ekf.predict(imu, 1.0 / 60.0);
+    ekf.update_speed(30.0);
+  }
+  GpsMsg wild;
+  // Teleport far beyond the gate *relative to the filter's own estimate*
+  // (the state has been propagating at 30 m/s, so an absolute coordinate
+  // would not be an outlier).
+  wild.x = ekf.estimate(0.0).x + 30.0;
+  wild.y = 3.7;
+  wild.heading = 0.0;
+  EXPECT_FALSE(ekf.update_gps(wild));
+  GpsMsg sane;
+  sane.x = ekf.estimate(0.0).x + 0.2;
+  sane.y = 3.7;
+  sane.heading = 0.0;
+  EXPECT_TRUE(ekf.update_gps(sane));
+}
+
+TEST(Ekf, NeesConsistency) {
+  // Average NEES over a long run should be near the state dimension (4);
+  // we accept a broad band as a sanity property.
+  LocalizationEkf ekf;
+  util::Rng rng(9);
+  const double v = 20.0;
+  double true_x = 0.0;
+  ekf.initialize(0.0, 0.0, 0.0, v);
+  const double dt = 1.0 / 60.0;
+  util::RunningStats nees;
+  for (int i = 0; i < 2400; ++i) {
+    true_x += v * dt;
+    ImuMsg imu;
+    imu.accel = rng.gaussian(0.0, 0.05);
+    imu.yaw_rate = rng.gaussian(0.0, 0.002);
+    imu.speed = v + rng.gaussian(0.0, 0.1);
+    ekf.predict(imu, dt);
+    ekf.update_speed(imu.speed);
+    if (i % 6 == 0) {
+      GpsMsg gps;
+      gps.x = true_x + rng.gaussian(0.0, 0.4);
+      gps.y = rng.gaussian(0.0, 0.4);
+      gps.heading = rng.gaussian(0.0, 0.01);
+      ekf.update_gps(gps);
+    }
+    if (i > 600) nees.add(ekf.nees(true_x, 0.0, 0.0, v));
+  }
+  EXPECT_GT(nees.mean(), 0.3);
+  EXPECT_LT(nees.mean(), 20.0);
+}
+
+// ---------- Tracker ----------
+
+DetectionMsg detections_at(double t, std::vector<std::pair<double, double>> xy,
+                           double speed = 25.0) {
+  DetectionMsg msg;
+  msg.t = t;
+  for (auto [x, y] : xy) {
+    Detection det;
+    det.x = x;
+    det.y = y;
+    det.speed_along = speed;
+    msg.detections.push_back(det);
+  }
+  return msg;
+}
+
+TEST(Tracker, ConfirmationDelay) {
+  ObjectTracker tracker;  // min_hits = 3
+  const double dt = 1.0 / 30.0;
+  EXPECT_TRUE(tracker.update(detections_at(0.0, {{50.0, 0.0}}), 0.0).empty());
+  EXPECT_TRUE(tracker.update(detections_at(dt, {{50.8, 0.0}}), dt).empty());
+  const auto tracks =
+      tracker.update(detections_at(2 * dt, {{51.6, 0.0}}), 2 * dt);
+  ASSERT_EQ(tracks.size(), 1u);  // confirmed on the 3rd hit
+  EXPECT_NEAR(tracks[0].x, 51.6, 1.0);
+}
+
+TEST(Tracker, VelocityEstimateConverges) {
+  ObjectTracker tracker;
+  const double dt = 1.0 / 30.0;
+  const double v = 20.0;
+  std::vector<TrackedObject> tracks;
+  for (int i = 0; i < 60; ++i) {
+    const double t = i * dt;
+    tracks = tracker.update(detections_at(t, {{40.0 + v * t, 0.0}}, v), t);
+  }
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_NEAR(tracks[0].vx, v, 1.0);
+}
+
+TEST(Tracker, DropsAfterMisses) {
+  ObjectTracker tracker;  // max_misses = 5
+  const double dt = 1.0 / 30.0;
+  for (int i = 0; i < 10; ++i) {
+    const double t = i * dt;
+    tracker.update(detections_at(t, {{50.0, 0.0}}), t);
+  }
+  EXPECT_EQ(tracker.live_track_count(), 1u);
+  for (int i = 10; i < 17; ++i) {
+    const double t = i * dt;
+    tracker.update(detections_at(t, {}), t);
+  }
+  EXPECT_EQ(tracker.live_track_count(), 0u);
+}
+
+TEST(Tracker, TwoObjectsKeepDistinctIds) {
+  ObjectTracker tracker;
+  const double dt = 1.0 / 30.0;
+  std::vector<TrackedObject> tracks;
+  for (int i = 0; i < 10; ++i) {
+    const double t = i * dt;
+    tracks = tracker.update(
+        detections_at(t, {{50.0 + 25.0 * t, 0.0}, {80.0 + 20.0 * t, 3.7}}), t);
+  }
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_NE(tracks[0].id, tracks[1].id);
+}
+
+TEST(Tracker, AnnotateLeadPicksInPathNearest) {
+  WorldModelMsg world;
+  TrackedObject near_in_path;
+  near_in_path.x = 140.0;
+  near_in_path.y = 3.7;
+  near_in_path.vx = 20.0;
+  TrackedObject far_in_path;
+  far_in_path.x = 200.0;
+  far_in_path.y = 3.7;
+  TrackedObject adjacent;
+  adjacent.x = 110.0;
+  adjacent.y = 7.4;
+  world.objects = {far_in_path, adjacent, near_in_path};
+
+  LocalizationMsg ego;
+  ego.x = 100.0;
+  ego.y = 3.7;
+  ego.v = 30.0;
+  annotate_lead(world, ego);
+  EXPECT_NEAR(world.lead_gap, 40.0 - 2.4, 1e-9);
+  EXPECT_NEAR(world.lead_rel_speed, -10.0, 1e-9);
+}
+
+TEST(Tracker, AnnotateLeadNoneWhenClear) {
+  WorldModelMsg world;
+  LocalizationMsg ego;
+  annotate_lead(world, ego);
+  EXPECT_LT(world.lead_gap, 0.0);
+}
+
+// ---------- Planner ----------
+
+TEST(Planner, CruisesAtSetSpeedOnOpenRoad) {
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = config.cruise_speed;
+  ego.y = 3.7;
+  WorldModelMsg world;  // no lead
+  world.lead_gap = -1.0;
+  const PlanMsg plan_msg = plan(ego, world, 3.7, config, 0.0);
+  EXPECT_NEAR(plan_msg.target_accel, 0.0, 0.1);
+  EXPECT_NEAR(plan_msg.target_steer, 0.0, 1e-9);
+}
+
+TEST(Planner, AcceleratesWhenBelowCruise) {
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = 20.0;
+  ego.y = 3.7;
+  WorldModelMsg world;
+  world.lead_gap = -1.0;
+  EXPECT_GT(plan(ego, world, 3.7, config, 0.0).target_accel, 1.0);
+}
+
+TEST(Planner, BrakesForCloseLead) {
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = 30.0;
+  ego.y = 3.7;
+  WorldModelMsg world;
+  world.lead_gap = 20.0;  // far below desired ~59 m
+  world.lead_rel_speed = -5.0;
+  EXPECT_LT(plan(ego, world, 3.7, config, 0.0).target_accel, -2.0);
+}
+
+TEST(Planner, EmergencyBrakeUnderFraction) {
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = 30.0;
+  WorldModelMsg world;
+  world.lead_gap = 10.0;
+  world.lead_rel_speed = 0.0;
+  // Inside the emergency fraction the planner requests the full physical
+  // braking capability, beyond the comfort limit.
+  EXPECT_DOUBLE_EQ(plan(ego, world, 3.7, config, 0.0).target_accel,
+                   -config.emergency_decel);
+}
+
+TEST(Planner, BrakingDistanceTermEngagesOnFastApproach) {
+  // 23 m/s closing at 100 m: the time-headway policy alone barely reacts
+  // (the gap still exceeds the desired gap), but the required-deceleration
+  // term must already brake firmly -- the Tesla-reveal geometry.
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = 33.0;
+  WorldModelMsg world;
+  world.lead_gap = 100.0;
+  world.lead_rel_speed = -23.0;
+  const double accel = plan(ego, world, 3.7, config, 0.0).target_accel;
+  // required = 23^2 / (2 * 95) = 2.78; with margin 1.2 => ~3.3.
+  EXPECT_LT(accel, -2.5);
+  // An opening gap at the same distance must not trigger it (ego below
+  // cruise speed so the cruise term does not brake either).
+  ego.v = 28.0;
+  world.lead_rel_speed = 3.0;
+  EXPECT_GT(plan(ego, world, 3.7, config, 0.0).target_accel, -1.0);
+}
+
+TEST(Planner, SteersBackToLaneCenter) {
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = 30.0;
+  ego.y = 3.0;  // right of center (3.7)
+  WorldModelMsg world;
+  world.lead_gap = -1.0;
+  EXPECT_GT(plan(ego, world, 3.7, config, 0.0).target_steer, 0.0);
+}
+
+TEST(Planner, HeadingErrorCorrected) {
+  PlannerConfig config;
+  LocalizationMsg ego;
+  ego.v = 30.0;
+  ego.y = 3.7;
+  ego.theta = 0.1;  // veering left
+  WorldModelMsg world;
+  world.lead_gap = -1.0;
+  EXPECT_LT(plan(ego, world, 3.7, config, 0.0).target_steer, 0.0);
+}
+
+// ---------- PID ----------
+
+TEST(Pid, ConvergesToTargetAccelPedal) {
+  PidController pid;
+  PlanMsg p;
+  p.target_accel = 1.0;
+  p.target_speed = 30.0;
+  ControlMsg msg;
+  double accel = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    msg = pid.control(p, accel, 25.0, 1.0 / 30.0, i / 30.0);
+    accel = msg.throttle * 4.5 - msg.brake * 8.0;  // crude plant
+  }
+  EXPECT_NEAR(accel, 1.0, 0.25);
+  EXPECT_GT(msg.throttle, 0.0);
+  EXPECT_DOUBLE_EQ(msg.brake, 0.0);
+}
+
+TEST(Pid, BrakesOnNegativeTarget) {
+  PidController pid;
+  PlanMsg p;
+  p.target_accel = -3.0;
+  p.target_speed = 10.0;
+  ControlMsg msg;
+  for (int i = 0; i < 60; ++i)
+    msg = pid.control(p, 0.0, 20.0, 1.0 / 30.0, i / 30.0);
+  EXPECT_GT(msg.brake, 0.2);
+  EXPECT_DOUBLE_EQ(msg.throttle, 0.0);
+}
+
+TEST(Pid, SlewLimitsStepResponse) {
+  PidConfig config;
+  PidController pid(config);
+  PlanMsg p;
+  p.target_accel = 2.5;
+  p.target_speed = 30.0;
+  const double dt = 1.0 / 30.0;
+  const ControlMsg first = pid.control(p, 0.0, 20.0, dt, 0.0);
+  // One step can move the pedal at most pedal_slew * dt from zero.
+  EXPECT_LE(first.throttle, config.pedal_slew * dt + 1e-12);
+}
+
+TEST(Pid, SteeringSlewLimited) {
+  PidConfig config;
+  PidController pid(config);
+  PlanMsg p;
+  p.target_steer = 0.3;
+  p.target_speed = 30.0;
+  const double dt = 1.0 / 30.0;
+  const ControlMsg first = pid.control(p, 0.0, 30.0, dt, 0.0);
+  EXPECT_LE(std::abs(first.steering), config.steer_slew * dt + 1e-12);
+}
+
+TEST(Pid, ResetClearsState) {
+  PidController pid;
+  PlanMsg p;
+  p.target_accel = 2.0;
+  p.target_speed = 30.0;
+  for (int i = 0; i < 30; ++i) pid.control(p, 0.0, 20.0, 1.0 / 30.0, i / 30.0);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.last().throttle, 0.0);
+}
+
+// ---------- Watchdog ----------
+
+TEST(Watchdog, StaysQuietWhileControlIsFresh) {
+  Watchdog dog;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(dog.monitor(0.033, 0.0, 1.0 / 30.0, i / 30.0).has_value());
+  EXPECT_FALSE(dog.engaged());
+}
+
+TEST(Watchdog, EngagesOnStaleControlAndLatches) {
+  Watchdog dog;
+  const auto first = dog.monitor(0.5, 0.1, 1.0 / 30.0, 10.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(dog.engaged());
+  EXPECT_DOUBLE_EQ(dog.engaged_at(), 10.0);
+  EXPECT_GT(first->brake, 0.0);
+  EXPECT_DOUBLE_EQ(first->throttle, 0.0);
+
+  // Latching: a revived control path does not take actuation back.
+  const auto later = dog.monitor(0.0, 0.0, 1.0 / 30.0, 10.1);
+  EXPECT_TRUE(later.has_value());
+}
+
+TEST(Watchdog, ReleasesSteeringGradually) {
+  WatchdogConfig config;
+  config.steer_release_rate = 0.6;
+  Watchdog dog(config);
+  const double dt = 1.0 / 30.0;
+  auto msg = dog.monitor(1.0, 0.3, dt, 0.0);
+  ASSERT_TRUE(msg.has_value());
+  // First step moves at most steer_release_rate * dt from the held value.
+  EXPECT_NEAR(msg->steering, 0.3 - 0.6 * dt, 1e-12);
+  double prev = msg->steering;
+  for (int i = 1; i < 60; ++i) {
+    msg = dog.monitor(1.0, 99.0 /* ignored once engaged */, dt, i * dt);
+    EXPECT_LE(std::abs(msg->steering), std::abs(prev));
+    prev = msg->steering;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.0);  // fully released within 2 s
+}
+
+TEST(Watchdog, DisabledNeverEngages) {
+  WatchdogConfig config;
+  config.enabled = false;
+  Watchdog dog(config);
+  EXPECT_FALSE(dog.monitor(100.0, 0.0, 1.0 / 30.0, 5.0).has_value());
+  EXPECT_FALSE(dog.engaged());
+}
+
+TEST(Watchdog, ResetRearms) {
+  Watchdog dog;
+  dog.monitor(1.0, 0.0, 1.0 / 30.0, 1.0);
+  ASSERT_TRUE(dog.engaged());
+  dog.reset();
+  EXPECT_FALSE(dog.engaged());
+  EXPECT_FALSE(dog.monitor(0.0, 0.0, 1.0 / 30.0, 2.0).has_value());
+}
+
+}  // namespace
+}  // namespace drivefi::ads

@@ -1,0 +1,718 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "bn/dbn.h"
+#include "bn/discrete.h"
+#include "bn/dsep.h"
+#include "bn/fit.h"
+#include "bn/gaussian.h"
+#include "bn/graph.h"
+#include "bn/network.h"
+#include "bn/sampling.h"
+#include "bn/serialize.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace drivefi::bn {
+namespace {
+
+// ---------- Dag ----------
+
+TEST(Dag, AddNodesAndEdges) {
+  Dag dag;
+  const NodeId a = dag.add_node("a");
+  const NodeId b = dag.add_node("b");
+  EXPECT_TRUE(dag.add_edge(a, b));
+  EXPECT_TRUE(dag.has_edge(a, b));
+  EXPECT_FALSE(dag.add_edge(a, b));  // duplicate
+  EXPECT_EQ(dag.find("a"), a);
+  EXPECT_FALSE(dag.find("zzz").has_value());
+}
+
+TEST(Dag, RejectsCycles) {
+  Dag dag;
+  const NodeId a = dag.add_node("a");
+  const NodeId b = dag.add_node("b");
+  const NodeId c = dag.add_node("c");
+  EXPECT_TRUE(dag.add_edge(a, b));
+  EXPECT_TRUE(dag.add_edge(b, c));
+  EXPECT_FALSE(dag.add_edge(c, a));  // would close the cycle
+  EXPECT_FALSE(dag.add_edge(a, a));  // self loop
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag dag;
+  const NodeId a = dag.add_node("a");
+  const NodeId b = dag.add_node("b");
+  const NodeId c = dag.add_node("c");
+  dag.add_edge(a, c);
+  dag.add_edge(b, c);
+  const auto order = dag.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::size_t pos_a = 0, pos_b = 0, pos_c = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == a) pos_a = i;
+    if (order[i] == b) pos_b = i;
+    if (order[i] == c) pos_c = i;
+  }
+  EXPECT_LT(pos_a, pos_c);
+  EXPECT_LT(pos_b, pos_c);
+}
+
+TEST(Dag, SeverParentsImplementsDoSurgery) {
+  Dag dag;
+  const NodeId a = dag.add_node("a");
+  const NodeId b = dag.add_node("b");
+  dag.add_edge(a, b);
+  dag.sever_parents(b);
+  EXPECT_TRUE(dag.parents(b).empty());
+  EXPECT_FALSE(dag.reaches(a, b));
+}
+
+TEST(Dag, AncestralMask) {
+  Dag dag;
+  const NodeId a = dag.add_node("a");
+  const NodeId b = dag.add_node("b");
+  const NodeId c = dag.add_node("c");
+  const NodeId d = dag.add_node("d");
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  const auto mask = dag.ancestral_mask({c});
+  EXPECT_TRUE(mask[a]);
+  EXPECT_TRUE(mask[b]);
+  EXPECT_TRUE(mask[c]);
+  EXPECT_FALSE(mask[d]);
+}
+
+// ---------- MultivariateGaussian ----------
+
+TEST(Gaussian, ConditionBivariateHandComputed) {
+  // X ~ N(1, 2), Y = X + noise: cov = [[2, 2], [2, 3]], mu = [1, 2].
+  MultivariateGaussian joint(util::Vector{1.0, 2.0},
+                             util::Matrix{{2.0, 2.0}, {2.0, 3.0}});
+  // Condition on Y = 4: E[X|Y=4] = 1 + (2/3)(4-2) = 7/3,
+  // Var[X|Y] = 2 - 4/3 = 2/3.
+  const auto cond = joint.condition({{1, 4.0}});
+  ASSERT_EQ(cond.dim(), 1u);
+  EXPECT_NEAR(cond.mean()[0], 7.0 / 3.0, 1e-10);
+  EXPECT_NEAR(cond.covariance()(0, 0), 2.0 / 3.0, 1e-10);
+}
+
+TEST(Gaussian, MarginalPreservesEntries) {
+  MultivariateGaussian joint(
+      util::Vector{1.0, 2.0, 3.0},
+      util::Matrix{{2.0, 0.5, 0.1}, {0.5, 1.0, 0.2}, {0.1, 0.2, 3.0}});
+  const auto marg = joint.marginal({2, 0});
+  EXPECT_DOUBLE_EQ(marg.mean()[0], 3.0);
+  EXPECT_DOUBLE_EQ(marg.mean()[1], 1.0);
+  EXPECT_DOUBLE_EQ(marg.covariance()(0, 1), 0.1);
+}
+
+TEST(Gaussian, ConditioningReducesVariance) {
+  MultivariateGaussian joint(util::Vector{0.0, 0.0},
+                             util::Matrix{{1.0, 0.8}, {0.8, 1.0}});
+  const auto cond = joint.condition({{1, 1.0}});
+  EXPECT_LT(cond.covariance()(0, 0), 1.0);
+}
+
+TEST(Gaussian, LogPdfStandardNormal) {
+  MultivariateGaussian g(util::Vector{0.0}, util::Matrix{{1.0}});
+  EXPECT_NEAR(g.log_pdf(util::Vector{0.0}),
+              -0.5 * std::log(2.0 * M_PI), 1e-9);
+}
+
+// ---------- LinearGaussianNetwork ----------
+
+LinearGaussianNetwork chain_network() {
+  // x ~ N(1, 1); y = 2x + 1 + N(0, 0.5); z = -y + N(0, 0.25)
+  LinearGaussianNetwork net;
+  net.add_node("x", {}, {}, 1.0, 1.0);
+  net.add_node("y", {"x"}, {2.0}, 1.0, 0.5);
+  net.add_node("z", {"y"}, {-1.0}, 0.0, 0.25);
+  return net;
+}
+
+TEST(LinearGaussian, JointMeanAndCovariance) {
+  const auto joint = chain_network().joint();
+  // E[x]=1, E[y]=3, E[z]=-3.
+  EXPECT_NEAR(joint.mean()[0], 1.0, 1e-12);
+  EXPECT_NEAR(joint.mean()[1], 3.0, 1e-12);
+  EXPECT_NEAR(joint.mean()[2], -3.0, 1e-12);
+  // Var(x)=1; Var(y)=4*1+0.5=4.5; Var(z)=4.5+0.25=4.75.
+  EXPECT_NEAR(joint.covariance()(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(joint.covariance()(1, 1), 4.5, 1e-12);
+  EXPECT_NEAR(joint.covariance()(2, 2), 4.75, 1e-12);
+  // cov(x,y)=2; cov(y,z)=-4.5; cov(x,z)=-2.
+  EXPECT_NEAR(joint.covariance()(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(joint.covariance()(1, 2), -4.5, 1e-12);
+  EXPECT_NEAR(joint.covariance()(0, 2), -2.0, 1e-12);
+}
+
+TEST(LinearGaussian, PosteriorMeanOnChain) {
+  const auto net = chain_network();
+  // Given x = 2: E[y] = 5, E[z] = -5.
+  const auto mean = net.posterior_mean({{"x", 2.0}}, {"y", "z"});
+  EXPECT_NEAR(mean[0], 5.0, 1e-10);
+  EXPECT_NEAR(mean[1], -5.0, 1e-10);
+}
+
+TEST(LinearGaussian, SamplingMatchesJoint) {
+  const auto net = chain_network();
+  util::Rng rng(3);
+  double sum_y = 0.0, sum_y2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto values = net.sample(rng);
+    sum_y += values[1];
+    sum_y2 += values[1] * values[1];
+  }
+  const double mean = sum_y / n;
+  const double var = sum_y2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.5, 0.15);
+}
+
+// The canonical do-vs-observe distinction: confounder w -> x, w -> y with
+// no direct x -> y edge. Observing x changes belief about y (through w);
+// intervening on x must NOT (x has no causal path to y).
+TEST(LinearGaussian, DoDiffersFromObserveUnderConfounding) {
+  LinearGaussianNetwork net;
+  net.add_node("w", {}, {}, 0.0, 1.0);
+  net.add_node("x", {"w"}, {1.0}, 0.0, 0.1);
+  net.add_node("y", {"w"}, {1.0}, 0.0, 0.1);
+
+  const auto observed = net.posterior_mean({{"x", 2.0}}, {"y"});
+  EXPECT_GT(observed[0], 1.0);  // back-door correlation
+
+  const auto intervened = net.do_posterior_mean({{"x", 2.0}}, {}, {"y"});
+  EXPECT_NEAR(intervened[0], 0.0, 1e-10);  // causal effect is zero
+}
+
+TEST(LinearGaussian, DoPropagatesAlongCausalPath) {
+  const auto net = chain_network();
+  const auto intervened = net.do_posterior_mean({{"y", 10.0}}, {}, {"z"});
+  EXPECT_NEAR(intervened[0], -10.0, 1e-10);
+}
+
+TEST(LinearGaussian, InterveneCutsUpstreamInference) {
+  const auto net = chain_network();
+  // After do(y=10), y carries no information about x.
+  const auto mutilated = net.intervene({{"y", 10.0}});
+  const auto mean = mutilated.posterior_mean({{"y", 10.0}}, {"x"});
+  EXPECT_NEAR(mean[0], 1.0, 1e-10);  // prior mean of x
+}
+
+TEST(LinearGaussian, DoPosteriorDropsConflictingEvidence) {
+  const auto net = chain_network();
+  // Evidence on y should be overridden by do(y=...).
+  const auto mean =
+      net.do_posterior_mean({{"y", 10.0}}, {{"y", -5.0}}, {"z"});
+  EXPECT_NEAR(mean[0], -10.0, 1e-10);
+}
+
+// ---------- Fitting ----------
+
+TEST(Fit, RecoversSyntheticCoefficients) {
+  // Ground truth: y = 3x - 2 + N(0, 0.2^2).
+  LinearGaussianNetwork truth;
+  truth.add_node("x", {}, {}, 5.0, 2.0);
+  truth.add_node("y", {"x"}, {3.0}, -2.0, 0.04);
+
+  util::Rng rng(17);
+  Dataset data;
+  data.columns = {"x", "y"};
+  for (int i = 0; i < 5000; ++i) {
+    const auto values = truth.sample(rng);
+    data.add_row({values[0], values[1]});
+  }
+
+  const auto fitted = fit_network({{"x", {}}, {"y", {"x"}}}, data);
+  const auto& cpd = fitted.cpd(fitted.id("y"));
+  EXPECT_NEAR(cpd.weights[0], 3.0, 0.02);
+  EXPECT_NEAR(cpd.bias, -2.0, 0.12);
+  EXPECT_NEAR(cpd.variance, 0.04, 0.01);
+}
+
+TEST(Fit, RootNodeUsesSampleMoments) {
+  Dataset data;
+  data.columns = {"x"};
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) data.add_row({v});
+  const auto net = fit_network({{"x", {}}}, data);
+  const auto& cpd = net.cpd(net.id("x"));
+  EXPECT_NEAR(cpd.bias, 3.0, 1e-12);
+  EXPECT_NEAR(cpd.variance, 2.0, 1e-12);  // MLE (divide by n)
+}
+
+TEST(Fit, MultiParentRecovery) {
+  util::Rng rng(23);
+  Dataset data;
+  data.columns = {"a", "b", "c"};
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.gaussian(0.0, 1.0);
+    const double b = rng.gaussian(2.0, 1.5);
+    const double c = 0.5 * a - 1.5 * b + 4.0 + rng.gaussian(0.0, 0.1);
+    data.add_row({a, b, c});
+  }
+  const auto net =
+      fit_network({{"a", {}}, {"b", {}}, {"c", {"a", "b"}}}, data);
+  const auto& cpd = net.cpd(net.id("c"));
+  EXPECT_NEAR(cpd.weights[0], 0.5, 0.02);
+  EXPECT_NEAR(cpd.weights[1], -1.5, 0.02);
+  EXPECT_NEAR(cpd.bias, 4.0, 0.05);
+}
+
+TEST(Fit, DiagnosticsReportGoodFit) {
+  util::Rng rng(29);
+  Dataset data;
+  data.columns = {"x", "y"};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(0.0, 1.0);
+    data.add_row({x, 2.0 * x + rng.gaussian(0.0, 0.01)});
+  }
+  const auto net = fit_network({{"x", {}}, {"y", {"x"}}}, data);
+  const auto diags = evaluate_fit(net, data);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_GT(diags[1].r2, 0.99);
+}
+
+// Parameterized property: fitting recovers weights across noise levels.
+class FitNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FitNoiseSweep, WeightRecoveredWithinTolerance) {
+  const double noise = GetParam();
+  util::Rng rng(101 + static_cast<std::uint64_t>(noise * 1000));
+  Dataset data;
+  data.columns = {"x", "y"};
+  for (int i = 0; i < 8000; ++i) {
+    const double x = rng.gaussian(1.0, 2.0);
+    data.add_row({x, -1.2 * x + 0.7 + rng.gaussian(0.0, noise)});
+  }
+  const auto net = fit_network({{"x", {}}, {"y", {"x"}}}, data);
+  EXPECT_NEAR(net.cpd(net.id("y")).weights[0], -1.2, 0.05 + noise * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, FitNoiseSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0));
+
+// ---------- DBN ----------
+
+DbnTemplate simple_template() {
+  DbnTemplate t;
+  t.add_variable("u");
+  t.add_variable("v");
+  t.add_intra_edge("u", "v");
+  t.add_inter_edge("v", "v");
+  t.add_inter_edge("u", "u");
+  return t;
+}
+
+TEST(Dbn, UnrolledSpecsShape) {
+  const auto specs = simple_template().unrolled_specs(3);
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "u@0");
+  EXPECT_TRUE(specs[0].parents.empty());
+  EXPECT_EQ(specs[1].name, "v@0");
+  ASSERT_EQ(specs[1].parents.size(), 1u);
+  EXPECT_EQ(specs[1].parents[0], "u@0");
+  // Slice 1's v has intra parent u@1 and inter parent v@0.
+  const auto& v1 = specs[3];
+  EXPECT_EQ(v1.name, "v@1");
+  ASSERT_EQ(v1.parents.size(), 2u);
+  EXPECT_EQ(v1.parents[0], "u@1");
+  EXPECT_EQ(v1.parents[1], "v@0");
+}
+
+TEST(Dbn, UnrolledDatasetWindows) {
+  Dataset trace;
+  trace.columns = {"u", "v"};
+  for (int i = 0; i < 5; ++i)
+    trace.add_row({static_cast<double>(i), static_cast<double>(10 * i)});
+  const auto unrolled = simple_template().unrolled_dataset(trace, 3);
+  ASSERT_EQ(unrolled.rows.size(), 3u);  // windows [0..2],[1..3],[2..4]
+  EXPECT_EQ(unrolled.columns.size(), 6u);
+  // Window 1: u@0 = 1, v@2 = 30.
+  EXPECT_DOUBLE_EQ(unrolled.rows[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(unrolled.rows[1][5], 30.0);
+}
+
+TEST(Dbn, FitAndPredictAr1) {
+  // v_t = 0.9 v_{t-1} + 1 + noise; check the fitted inter weight.
+  util::Rng rng(7);
+  Dataset trace;
+  trace.columns = {"u", "v"};
+  double v = 10.0;
+  for (int i = 0; i < 3000; ++i) {
+    trace.add_row({0.0, v});
+    v = 0.9 * v + 1.0 + rng.gaussian(0.0, 0.05);
+  }
+  DbnTemplate t;
+  t.add_variable("u");
+  t.add_variable("v");
+  t.add_inter_edge("v", "v");
+  const auto net = t.fit(trace, 2);
+  const auto& cpd = net.cpd(net.id("v@1"));
+  ASSERT_EQ(cpd.weights.size(), 1u);
+  EXPECT_NEAR(cpd.weights[0], 0.9, 0.03);
+}
+
+// ---------- Discrete network ----------
+
+// Classic sprinkler-ish network for exact hand-checked inference:
+// rain ~ Bernoulli(0.2); sprinkler | rain; wet | rain, sprinkler.
+DiscreteNetwork sprinkler() {
+  DiscreteNetwork net;
+  net.add_node("rain", 2, {}, {0.8, 0.2});
+  net.add_node("sprinkler", 2, {"rain"}, {0.6, 0.4, 0.99, 0.01});
+  net.add_node("wet", 2, {"rain", "sprinkler"},
+               {
+                   0.99, 0.01,  // rain=0, sprinkler=0
+                   0.1, 0.9,    // rain=0, sprinkler=1
+                   0.2, 0.8,    // rain=1, sprinkler=0
+                   0.01, 0.99,  // rain=1, sprinkler=1
+               });
+  return net;
+}
+
+TEST(Discrete, PriorMarginal) {
+  const auto net = sprinkler();
+  const auto p = net.posterior({}, "rain");
+  EXPECT_NEAR(p[1], 0.2, 1e-10);
+}
+
+TEST(Discrete, PosteriorByEnumerationCheck) {
+  const auto net = sprinkler();
+  // P(rain=1 | wet=1) by hand enumeration:
+  // P(wet=1, rain) = sum_s P(rain) P(s|rain) P(wet=1|rain,s).
+  const double p_wet_rain1 = 0.2 * (0.99 * 0.8 + 0.01 * 0.99);
+  const double p_wet_rain0 = 0.8 * (0.6 * 0.01 + 0.4 * 0.9);
+  const double expected = p_wet_rain1 / (p_wet_rain1 + p_wet_rain0);
+  const auto p = net.posterior({{"wet", 1}}, "rain");
+  EXPECT_NEAR(p[1], expected, 1e-9);
+}
+
+TEST(Discrete, DoVsObserveOnSprinkler) {
+  const auto net = sprinkler();
+  // Observing sprinkler=1 lowers belief in rain (explaining away through
+  // the prior link rain -> sprinkler); intervening must not.
+  const auto observed = net.posterior({{"sprinkler", 1}}, "rain");
+  EXPECT_LT(observed[1], 0.2);
+  const auto mutilated = net.intervene("sprinkler", 1);
+  const auto intervened = mutilated.posterior({{"sprinkler", 1}}, "rain");
+  EXPECT_NEAR(intervened[1], 0.2, 1e-9);
+}
+
+TEST(Discrete, MapEstimate) {
+  const auto net = sprinkler();
+  EXPECT_EQ(net.map_estimate({}, "rain"), 0u);
+  EXPECT_EQ(net.map_estimate({{"rain", 1}}, "wet"), 1u);
+}
+
+TEST(Discrete, SamplingMatchesMarginals) {
+  const auto net = sprinkler();
+  util::Rng rng(13);
+  int rain_count = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto values = net.sample(rng);
+    rain_count += values[0];
+  }
+  EXPECT_NEAR(rain_count / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Discretizer, EncodeDecodeRoundTrip) {
+  Discretizer d(10, 0.0, 100.0);
+  EXPECT_EQ(d.encode(5.0), 0u);
+  EXPECT_EQ(d.encode(95.0), 9u);
+  EXPECT_EQ(d.encode(-50.0), 0u);   // clamps
+  EXPECT_EQ(d.encode(500.0), 9u);   // clamps
+  EXPECT_NEAR(d.decode(d.encode(47.0)), 45.0, 1e-12);  // bin center
+}
+
+// ---------- d-separation ----------
+
+// Chain a -> b -> c, fork b -> d, collider (a, d) -> e.
+Dag dsep_fixture() {
+  Dag dag;
+  const NodeId a = dag.add_node("a");
+  const NodeId b = dag.add_node("b");
+  const NodeId c = dag.add_node("c");
+  const NodeId d = dag.add_node("d");
+  const NodeId e = dag.add_node("e");
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  dag.add_edge(b, d);
+  dag.add_edge(a, e);
+  dag.add_edge(d, e);
+  return dag;
+}
+
+TEST(Dsep, ChainBlockedByMiddleNode) {
+  const Dag dag = dsep_fixture();
+  EXPECT_FALSE(d_separated(dag, *dag.find("a"), *dag.find("c"), {}));
+  EXPECT_TRUE(d_separated(dag, *dag.find("a"), *dag.find("c"),
+                          {*dag.find("b")}));
+}
+
+TEST(Dsep, ForkBlockedByCommonCause) {
+  const Dag dag = dsep_fixture();
+  // c <- b -> d: dependent marginally, independent given b.
+  EXPECT_FALSE(d_separated(dag, *dag.find("c"), *dag.find("d"), {}));
+  EXPECT_TRUE(d_separated(dag, *dag.find("c"), *dag.find("d"),
+                          {*dag.find("b")}));
+}
+
+TEST(Dsep, ColliderOpensWhenObserved) {
+  Dag dag;
+  const NodeId x = dag.add_node("x");
+  const NodeId y = dag.add_node("y");
+  const NodeId z = dag.add_node("z");
+  const NodeId w = dag.add_node("w");
+  dag.add_edge(x, z);
+  dag.add_edge(y, z);
+  dag.add_edge(z, w);
+  // x and y are marginally independent...
+  EXPECT_TRUE(d_separated(dag, x, y, {}));
+  // ...but dependent given the collider or any of its descendants.
+  EXPECT_FALSE(d_separated(dag, x, y, {z}));
+  EXPECT_FALSE(d_separated(dag, x, y, {w}));
+}
+
+TEST(Dsep, MarkovBlanketShieldsNode) {
+  const Dag dag = dsep_fixture();
+  // blanket(b) = {a (parent), c, d (children)}; e is a child's child --
+  // via d -> e, e's other parent a is already in as b's parent.
+  const auto blanket = markov_blanket(dag, *dag.find("b"));
+  std::vector<NodeId> expect = {*dag.find("a"), *dag.find("c"),
+                                *dag.find("d")};
+  EXPECT_EQ(blanket, expect);
+  // Conditioned on its blanket, b is d-separated from everything else.
+  EXPECT_TRUE(d_separated(dag, *dag.find("b"), *dag.find("e"), blanket));
+}
+
+TEST(Dsep, MarkovBlanketIncludesCoparents) {
+  const Dag dag = dsep_fixture();
+  // blanket(d) = {b (parent), e (child), a (e's other parent)}.
+  const auto blanket = markov_blanket(dag, *dag.find("d"));
+  std::vector<NodeId> expect = {*dag.find("a"), *dag.find("b"),
+                                *dag.find("e")};
+  EXPECT_EQ(blanket, expect);
+}
+
+TEST(Dsep, DConnectedSetMatchesPairwiseQueries) {
+  const Dag dag = dsep_fixture();
+  const std::vector<NodeId> given = {*dag.find("b")};
+  const auto connected = d_connected_set(dag, *dag.find("a"), given);
+  for (NodeId n = 0; n < dag.node_count(); ++n) {
+    if (n == *dag.find("a") || n == given[0]) continue;
+    const bool in_set =
+        std::find(connected.begin(), connected.end(), n) != connected.end();
+    EXPECT_EQ(in_set, !d_separated(dag, *dag.find("a"), n, given))
+        << dag.name(n);
+  }
+}
+
+TEST(Dsep, InterventionOnlyMovesDConnectedNodes) {
+  // Structural check tying d-separation to the do-operator: in the
+  // mutilated graph, nodes d-separated from the intervention site given
+  // the evidence set keep their posterior mean.
+  LinearGaussianNetwork net;
+  net.add_node("a", {}, {}, 0.0, 1.0);
+  net.add_node("b", {"a"}, {0.7}, 0.0, 0.5);
+  net.add_node("c", {"b"}, {0.9}, 0.0, 0.5);
+  net.add_node("d", {}, {}, 2.0, 1.0);  // disconnected from a/b/c
+
+  const auto base = net.posterior_mean({}, {"c", "d"});
+  const auto after = net.do_posterior_mean({{"b", 3.0}}, {}, {"c", "d"});
+  EXPECT_NE(after[0], base[0]);             // c is downstream of do(b)
+  EXPECT_DOUBLE_EQ(after[1], base[1]);      // d is d-separated
+}
+
+// ---------- Approximate inference (sampling) ----------
+
+LinearGaussianNetwork small_chain() {
+  LinearGaussianNetwork net;
+  net.add_node("x", {}, {}, 1.0, 1.0);
+  net.add_node("y", {"x"}, {2.0}, 0.5, 0.25);
+  net.add_node("z", {"y"}, {-1.0}, 0.0, 0.5);
+  return net;
+}
+
+TEST(Sampling, LikelihoodWeightingMatchesExactPosterior) {
+  const auto net = small_chain();
+  const std::vector<Assignment> evidence = {{"z", -3.0}};
+  const std::vector<std::string> query = {"x", "y"};
+  const auto exact = net.posterior_mean(evidence, query);
+
+  util::Rng rng(17);
+  SamplingConfig config;
+  config.samples = 20000;
+  const auto approx = likelihood_weighting(net, evidence, query, rng, config);
+  ASSERT_EQ(approx.mean.size(), 2u);
+  EXPECT_NEAR(approx.mean[0], exact[0], 0.1);
+  EXPECT_NEAR(approx.mean[1], exact[1], 0.1);
+  EXPECT_GT(approx.effective_samples, 100.0);
+}
+
+TEST(Sampling, GibbsMatchesExactPosterior) {
+  const auto net = small_chain();
+  const std::vector<Assignment> evidence = {{"z", -3.0}};
+  const std::vector<std::string> query = {"x", "y"};
+  const auto exact = net.posterior_mean(evidence, query);
+
+  util::Rng rng(23);
+  SamplingConfig config;
+  config.samples = 5000;
+  config.burn_in = 500;
+  const auto approx = gibbs(net, evidence, query, rng, config);
+  EXPECT_NEAR(approx.mean[0], exact[0], 0.1);
+  EXPECT_NEAR(approx.mean[1], exact[1], 0.1);
+}
+
+TEST(Sampling, PriorMeanWithoutEvidence) {
+  const auto net = small_chain();
+  util::Rng rng(5);
+  const auto lw = likelihood_weighting(net, {}, {"y"}, rng);
+  // Prior mean of y = 2 * E[x] + 0.5 = 2.5.
+  EXPECT_NEAR(lw.mean[0], 2.5, 0.15);
+}
+
+TEST(Sampling, DeterministicEvidenceRejectsInfeasibleParticles) {
+  LinearGaussianNetwork net;
+  net.add_node("x", {}, {}, 0.0, 1.0);
+  net.add_node("y", {"x"}, {1.0}, 0.0, 0.0);  // y == x deterministically
+  util::Rng rng(3);
+  // Evidence y = 0.4 contradicts almost every sampled x; the estimator
+  // must discard infeasible particles and report near-zero ESS rather
+  // than producing garbage.
+  const auto lw = likelihood_weighting(net, {{"y", 0.4}}, {"x"}, rng);
+  EXPECT_LT(lw.effective_samples, 1.0);
+}
+
+TEST(Sampling, GibbsHandlesDeterministicDownstreamNode) {
+  LinearGaussianNetwork net;
+  net.add_node("x", {}, {}, 1.0, 1.0);
+  net.add_node("y", {"x"}, {3.0}, 0.0, 0.0);  // y = 3x deterministically
+  util::Rng rng(9);
+  SamplingConfig config;
+  config.samples = 2000;
+  const auto result = gibbs(net, {}, {"y"}, rng, config);
+  EXPECT_NEAR(result.mean[0], 3.0, 0.25);
+}
+
+// ---------- Serialization ----------
+
+TEST(Serialize, RoundTripPreservesCpds) {
+  const auto net = small_chain();
+  std::stringstream buffer;
+  save_network(net, buffer);
+  const auto loaded = load_network(buffer);
+
+  ASSERT_EQ(loaded.node_count(), net.node_count());
+  for (const auto& name : {"x", "y", "z"}) {
+    const auto& original = net.cpd(net.id(name));
+    const auto& restored = loaded.cpd(loaded.id(name));
+    EXPECT_DOUBLE_EQ(restored.bias, original.bias) << name;
+    EXPECT_DOUBLE_EQ(restored.variance, original.variance) << name;
+    ASSERT_EQ(restored.weights.size(), original.weights.size()) << name;
+    for (std::size_t i = 0; i < original.weights.size(); ++i)
+      EXPECT_DOUBLE_EQ(restored.weights[i], original.weights[i]) << name;
+  }
+}
+
+TEST(Serialize, RoundTripPreservesInference) {
+  const auto net = small_chain();
+  std::stringstream buffer;
+  save_network(net, buffer);
+  const auto loaded = load_network(buffer);
+  const std::vector<Assignment> evidence = {{"z", 1.0}};
+  const auto a = net.posterior_mean(evidence, {"x"});
+  const auto b = loaded.posterior_mean(evidence, {"x"});
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not-a-network 1\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownVersion) {
+  std::stringstream buffer("drivefi-bn 99\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedRecord) {
+  std::stringstream buffer("drivefi-bn 1\nnode x 0.0\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsForwardParentReference) {
+  std::stringstream buffer(
+      "drivefi-bn 1\n"
+      "node y 0.0 1.0 1 x 2.0\n"
+      "node x 0.0 1.0 0\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+// ---------- Linear-Gaussian structural properties ----------
+
+// The posterior mean of a linear-Gaussian network is an affine function
+// of the evidence values: E[q | e] = A e + b. Verify superposition.
+TEST(GaussianProperty, PosteriorMeanIsAffineInEvidence) {
+  const auto net = small_chain();
+  auto mean_given_z = [&](double z) {
+    return net.posterior_mean({{"z", z}}, {"x"})[0];
+  };
+  const double at0 = mean_given_z(0.0);
+  const double at1 = mean_given_z(1.0);
+  const double at2 = mean_given_z(2.0);
+  // Equal spacing of evidence -> equal spacing of posterior means.
+  EXPECT_NEAR(at2 - at1, at1 - at0, 1e-9);
+}
+
+// Ancestral sampling must agree with the compiled joint's moments.
+TEST(GaussianProperty, SampleMomentsMatchJoint) {
+  const auto net = small_chain();
+  const auto joint = net.joint();
+  util::Rng rng(31);
+  util::RunningStats x_stats, z_stats;
+  for (int i = 0; i < 40000; ++i) {
+    const auto values = net.sample(rng);
+    x_stats.add(values[net.id("x")]);
+    z_stats.add(values[net.id("z")]);
+  }
+  EXPECT_NEAR(x_stats.mean(), joint.mean()[net.id("x")], 0.03);
+  EXPECT_NEAR(z_stats.mean(), joint.mean()[net.id("z")], 0.06);
+  EXPECT_NEAR(x_stats.variance(),
+              joint.covariance()(net.id("x"), net.id("x")), 0.05);
+  EXPECT_NEAR(z_stats.variance(),
+              joint.covariance()(net.id("z"), net.id("z")), 0.15);
+}
+
+// do() on a root node equals conditioning on it (no incoming edges to
+// sever), a standard identity of the do-calculus.
+TEST(GaussianProperty, DoOnRootEqualsObserve) {
+  const auto net = small_chain();
+  const auto via_do = net.do_posterior_mean({{"x", 2.0}}, {}, {"z"});
+  const auto via_observe = net.posterior_mean({{"x", 2.0}}, {"z"});
+  EXPECT_NEAR(via_do[0], via_observe[0], 1e-9);
+}
+
+// Intervening on a mediator blocks upstream back-inference: under
+// do(y = c), x keeps its prior mean regardless of c.
+TEST(GaussianProperty, DoOnMediatorLeavesAncestorsAtPrior) {
+  const auto net = small_chain();
+  const auto prior = net.posterior_mean({}, {"x"});
+  for (double c : {-3.0, 0.0, 4.0}) {
+    const auto after = net.do_posterior_mean({{"y", c}}, {}, {"x"});
+    EXPECT_NEAR(after[0], prior[0], 1e-9) << c;
+  }
+  // Observing the same value DOES move x (back-inference).
+  const auto observed = net.posterior_mean({{"y", -3.0}}, {"x"});
+  EXPECT_GT(std::abs(observed[0] - prior[0]), 0.1);
+}
+
+}  // namespace
+}  // namespace drivefi::bn
