@@ -8,7 +8,8 @@
 #include <cstdio>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/importance.h"
 #include "core/scene_library.h"
 #include "core/selector.h"
@@ -29,8 +30,8 @@ int main(int argc, char** argv) {
                                       sim::example2_tesla_reveal()};
   ads::PipelineConfig config;
   config.seed = 101;
-  core::CampaignRunner runner(suite, config);
-  const auto& goldens = runner.goldens();
+  const core::Experiment experiment(suite, config);
+  const auto& goldens = experiment.goldens();
 
   const core::SafetyPredictor predictor(goldens);
   const core::BayesianFaultSelector selector(predictor);
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
       std::min(replay_budget, selection.critical.size());
   std::vector<core::SelectedFault> top(selection.critical.begin(),
                                        selection.critical.begin() + n);
-  const core::CampaignStats replayed = runner.run_selected_faults(top);
+  const core::CampaignStats replayed =
+      experiment.run(core::SelectedFaultModel(top));
 
   // (a) Situation library over every selected fault's scene.
   const auto features = core::extract_features(selection.critical, goldens);

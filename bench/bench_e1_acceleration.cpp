@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
 #include "core/report.h"
 #include "core/selector.h"
 #include "sim/scenario.h"
@@ -32,12 +32,11 @@ int main() {
 
   ads::PipelineConfig config;
   config.seed = 17;
-  core::CampaignRunner runner(golden_suite, config);
-  const auto& goldens = runner.goldens();
+  const core::Experiment experiment(golden_suite, config);
+  const auto& goldens = experiment.goldens();
 
   // Measured wall cost of one full-simulation injected run.
-  const double per_run_seconds =
-      runner.mean_run_wall_seconds();
+  const double per_run_seconds = experiment.mean_run_wall_seconds();
 
   // Catalog over the golden suite (what the selector actually sweeps).
   const auto catalog =

@@ -7,7 +7,8 @@
 #include <set>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/report.h"
 #include "core/selector.h"
 #include "sim/scenario.h"
@@ -21,8 +22,8 @@ int main() {
   auto suite = sim::base_suite();
   ads::PipelineConfig config;
   config.seed = 29;
-  core::CampaignRunner runner(suite, config);
-  const auto& goldens = runner.goldens();
+  const core::Experiment experiment(suite, config);
+  const auto& goldens = experiment.goldens();
 
   const core::SafetyPredictor predictor(goldens);
   const core::BayesianFaultSelector selector(predictor);
@@ -39,7 +40,8 @@ int main() {
       std::min<std::size_t>(120, selection.critical.size());
   std::vector<core::SelectedFault> replayed(
       selection.critical.begin(), selection.critical.begin() + replay_budget);
-  const core::CampaignStats stats = runner.run_selected_faults(replayed);
+  const core::CampaignStats stats =
+      experiment.run(core::SelectedFaultModel(replayed));
 
   core::outcome_table(stats).print("E2: replay outcomes");
   core::validation_table(selection, stats, catalog.scene_count)

@@ -4,7 +4,8 @@
 // report the same outcome taxonomy.
 #include <cstdio>
 
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/report.h"
 #include "sim/scenario.h"
 
@@ -21,21 +22,20 @@ int main(int argc, char** argv) {
   auto suite = sim::base_suite();
   ads::PipelineConfig config;
   config.seed = 101;
-  core::CampaignRunner runner(suite, config);
-  runner.goldens();
+  const core::Experiment experiment(suite, config);
 
   const core::CampaignStats bitflips =
-      runner.run_random_bitflip_campaign(budget, 555);
+      experiment.run(core::BitFlipModel(budget, 555));
   core::outcome_table(bitflips).print(
       "E3a: random single-bit flips in architectural state "
       "(paper: 1.93% SDC, 7.35% hang/panic, 0 hazards)");
 
   const core::CampaignStats multibit =
-      runner.run_random_bitflip_campaign(budget / 3, 777, /*bits=*/2);
+      experiment.run(core::BitFlipModel(budget / 3, 777, /*bits=*/2));
   core::outcome_table(multibit).print("E3b: random double-bit flips");
 
   const core::CampaignStats values =
-      runner.run_random_value_campaign(budget, 999);
+      experiment.run(core::RandomValueModel(budget, 999));
   core::outcome_table(values).print(
       "E3c: random min/max module-output corruption");
 

@@ -13,7 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/campaign.h"
+#include "core/experiment.h"
 #include "core/report.h"
 #include "sim/scenario.h"
 #include "util/table.h"
@@ -27,8 +27,8 @@ int main() {
   std::vector<sim::Scenario> suite{scenario};
   ads::PipelineConfig config;
   config.seed = 41;
-  core::CampaignRunner runner(suite, config);
-  const auto& golden = runner.goldens()[0];
+  const core::Experiment experiment(suite, config);
+  const auto& golden = experiment.goldens()[0];
 
   const double hold = 3.0;  // s, sustained through the window
   util::Table table({"inject t (s)", "min golden delta in window (m)",

@@ -5,7 +5,7 @@
 // duration and report the crash boundary.
 #include <cstdio>
 
-#include "core/campaign.h"
+#include "core/experiment.h"
 #include "core/report.h"
 #include "sim/scenario.h"
 #include "util/table.h"
@@ -19,8 +19,8 @@ int main() {
   std::vector<sim::Scenario> suite{scenario};
   ads::PipelineConfig config;
   config.seed = 43;
-  core::CampaignRunner runner(suite, config);
-  const auto& golden = runner.goldens()[0];
+  const core::Experiment experiment(suite, config);
+  const auto& golden = experiment.goldens()[0];
 
   std::printf("golden run: %s\n",
               golden.scenes.back().collided ? "COLLIDED (unexpected!)"

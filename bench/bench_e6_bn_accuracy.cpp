@@ -10,8 +10,8 @@
 #include <memory>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
 #include "core/selector.h"
+#include "core/trace.h"
 #include "sim/scenario.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -8,7 +8,8 @@
 #include <string>
 
 #include "ads/pipeline.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/report.h"
 #include "sim/scenario.h"
 #include "util/table.h"
@@ -27,8 +28,8 @@ core::CampaignStats run_config(const ads::PipelineConfig& config,
   std::vector<sim::Scenario> suite = {sim::base_suite()[1],
                                       sim::base_suite()[2],
                                       sim::base_suite()[4]};
-  core::CampaignRunner runner(suite, config);
-  return runner.run_random_value_campaign(budget, seed);
+  const core::Experiment experiment(suite, config);
+  return experiment.run(core::RandomValueModel(budget, seed));
 }
 
 }  // namespace

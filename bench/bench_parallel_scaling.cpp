@@ -1,0 +1,107 @@
+// Parallel campaign scaling: injections/sec through the Experiment engine
+// at 1/2/4/8 threads, with a determinism cross-check (every thread count
+// must reproduce the single-threaded records exactly). Emits a
+// BENCH_parallel.json summary so later perf PRs have a trajectory to beat.
+//
+//   ./bench_parallel_scaling [budget] [out.json]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+using namespace drivefi;
+
+namespace {
+
+// Record fingerprint excluding wall_seconds (the only timing-dependent
+// field); used to assert bit-identical results across thread counts.
+std::string fingerprint(const core::CampaignStats& stats) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (const auto& r : stats.records)
+    out << r.run_index << '|' << r.description << '|' << r.scene_index << '|'
+        << static_cast<int>(r.outcome) << '|' << r.min_delta_lon << '|'
+        << r.max_actuation_divergence << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t budget =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
+
+  std::printf("parallel scaling: %zu random value injections per thread "
+              "count (host has %u hardware threads)\n",
+              budget, core::resolve_thread_count(0));
+
+  std::vector<sim::Scenario> suite = {sim::base_suite()[1],
+                                      sim::base_suite()[2]};
+  ads::PipelineConfig config;
+  config.seed = 7;
+  const core::RandomValueModel model(budget, 31337);
+
+  util::Table table({"threads", "wall (s)", "injections/s", "speedup",
+                     "identical to 1-thread"});
+  std::string baseline_fp;
+  double baseline_wall = 0.0;
+  std::ostringstream rows_json;
+
+  bool first = true;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    core::ExperimentOptions options;
+    options.executor.threads = threads;
+    const core::Experiment experiment(suite, config, {}, options);
+    const core::CampaignStats stats = experiment.run(model);
+
+    const std::string fp = fingerprint(stats);
+    if (threads == 1) {
+      baseline_fp = fp;
+      baseline_wall = stats.wall_seconds;
+    }
+    const bool identical = fp == baseline_fp;
+    const double rate = stats.wall_seconds > 0.0
+                            ? static_cast<double>(stats.total()) / stats.wall_seconds
+                            : 0.0;
+    const double speedup =
+        stats.wall_seconds > 0.0 ? baseline_wall / stats.wall_seconds : 0.0;
+    table.add_row({util::Table::fmt_int(threads),
+                   util::Table::fmt(stats.wall_seconds, 2),
+                   util::Table::fmt(rate, 2), util::Table::fmt(speedup, 2),
+                   identical ? "yes" : "NO -- DETERMINISM BUG"});
+
+    if (!first) rows_json << ",";
+    first = false;
+    rows_json << "\n    {\"threads\": " << threads << ", \"wall_seconds\": "
+              << stats.wall_seconds << ", \"injections_per_second\": " << rate
+              << ", \"speedup\": " << speedup << ", \"identical\": "
+              << (identical ? "true" : "false") << "}";
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: %u-thread campaign diverged from the "
+                           "single-threaded records\n", threads);
+      return 1;
+    }
+  }
+
+  table.print("parallel campaign scaling (deterministic executor)");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"budget\": " << budget
+      << ",\n  \"hardware_threads\": " << core::resolve_thread_count(0)
+      << ",\n  \"rows\": [" << rows_json.str() << "\n  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -7,7 +7,8 @@
 #include <cstdlib>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/report.h"
 #include "core/selector.h"
 #include "sim/scenario.h"
@@ -25,10 +26,9 @@ int main(int argc, char** argv) {
 
   ads::PipelineConfig config;
   config.seed = 7;
-  core::CampaignRunner runner(suite, config);
-
   std::printf("running %zu golden scenarios...\n", suite.size());
-  const auto& goldens = runner.goldens();
+  const core::Experiment experiment(suite, config);
+  const auto& goldens = experiment.goldens();
 
   std::printf("fitting the 3-TBN on golden traces...\n");
   const core::SafetyPredictor predictor(goldens);
@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
           std::min(n_replay, selection.critical.size()));
   std::printf("\nreplaying %zu selected faults in full simulation...\n",
               top.size());
-  const core::CampaignStats replay = runner.run_selected_faults(top);
+  const core::CampaignStats replay =
+      experiment.run(core::SelectedFaultModel(top));
   core::outcome_table(replay).print("replay outcomes");
   core::validation_table(selection, replay, catalog.scene_count)
       .print("validation summary");

@@ -3,11 +3,13 @@
 //
 //   ./quickstart
 //
-// This is the smallest end-to-end use of the public API: scenario ->
-// golden run -> injected run -> outcome classification.
+// This is the smallest end-to-end use of the public API: build an
+// Experiment (which precomputes the golden baseline), describe a fault,
+// replay it, classify. Campaigns use the same engine with a FaultModel --
+// see random_vs_bayesian.cpp.
 #include <cstdio>
 
-#include "core/campaign.h"
+#include "core/experiment.h"
 #include "core/outcome.h"
 #include "sim/scenario.h"
 
@@ -20,31 +22,29 @@ int main() {
               scenario.description.c_str());
 
   // 2. Configure the ADS (defaults mirror an Apollo-like stack: 30 Hz
-  //    perception/planning/control, 10 Hz GPS, EKF fusion, PID smoothing).
+  //    perception/planning/control, 10 Hz GPS, EKF fusion, PID smoothing)
+  //    and build the engine; golden (fault-free) baselines are computed
+  //    eagerly, one per scenario.
   ads::PipelineConfig config;
   config.seed = 1;
+  const core::Experiment experiment({scenario}, config);
 
-  // 3. Golden (fault-free) run.
-  const core::GoldenTrace golden = core::run_golden(scenario, config);
+  const core::GoldenTrace& golden = experiment.goldens()[0];
   std::printf("golden run: %zu scenes, final delta_lon = %.1f m, %s\n",
               golden.scenes.size(), golden.scenes.back().true_delta_lon,
               golden.scenes.back().collided ? "COLLIDED" : "no collision");
 
-  // 4. Injected run: corrupt the throttle command to its max for one
+  // 3. Describe a fault: corrupt the throttle command to its max for one
   //    second, mid-scenario (paper fault model (b) on A_t).
-  sim::World world(scenario.world);
-  ads::AdsPipeline pipeline(world, config);
-  ads::ValueFault fault;
+  core::CandidateFault fault;
+  fault.scenario_index = 0;
+  fault.inject_time = 15.0;
   fault.target = "control.throttle";
   fault.value = 1.0;
-  fault.start_time = 15.0;
-  fault.hold_duration = 1.0;
-  pipeline.arm_value_fault(fault);
-  pipeline.run_for(scenario.duration);
 
-  // 5. Classify against the golden baseline.
-  const core::RunResult result = core::classify_run(
-      golden.scenes, pipeline.scenes(), pipeline.any_module_hung());
+  // 4. Replay it against the golden baseline and classify.
+  const core::RunResult result =
+      experiment.replay_value_fault(fault, /*hold_seconds=*/1.0);
   std::printf("injected run: outcome = %s (%s)\n",
               core::outcome_name(result.outcome), result.detail.c_str());
   std::printf("  max actuation divergence: %.3f\n",

@@ -7,7 +7,8 @@
 #include <cstdlib>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/report.h"
 #include "core/selector.h"
 #include "sim/scenario.h"
@@ -23,14 +24,14 @@ int main(int argc, char** argv) {
                                       sim::base_suite()[4]};
   ads::PipelineConfig config;
   config.seed = 11;
-  core::CampaignRunner runner(suite, config);
-  const auto& goldens = runner.goldens();
+  const core::Experiment experiment(suite, config);
+  const auto& goldens = experiment.goldens();
 
   // --- Random FI with `budget` injections ---
   std::printf("random value-corruption campaign (%zu injections)...\n",
               budget);
   const core::CampaignStats random_stats =
-      runner.run_random_value_campaign(budget, 1234);
+      experiment.run(core::RandomValueModel(budget, 1234));
   core::outcome_table(random_stats).print("random FI outcomes");
 
   // --- Bayesian FI replaying its top `budget` picks ---
@@ -45,7 +46,8 @@ int main(int argc, char** argv) {
       selection.critical.begin(),
       selection.critical.begin() +
           std::min(budget, selection.critical.size()));
-  const core::CampaignStats bayes_stats = runner.run_selected_faults(top);
+  const core::CampaignStats bayes_stats =
+      experiment.run(core::SelectedFaultModel(top));
   core::outcome_table(bayes_stats).print("Bayesian FI outcomes");
 
   std::printf("\nhazards found -- random: %zu / %zu, Bayesian: %zu / %zu\n",

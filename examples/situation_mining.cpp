@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
 #include "core/importance.h"
 #include "core/scene_library.h"
 #include "core/selector.h"
@@ -26,8 +26,8 @@ int main() {
   ads::PipelineConfig config;
   config.seed = 7;
 
-  core::CampaignRunner runner(suite, config);
-  const auto& goldens = runner.goldens();
+  const core::Experiment experiment(suite, config);
+  const auto& goldens = experiment.goldens();
 
   const core::SafetyPredictor predictor(goldens);
   const core::BayesianFaultSelector selector(predictor);

@@ -40,7 +40,8 @@ AdsPipeline::AdsPipeline(sim::World& world, const PipelineConfig& config)
     : world_(world),
       config_(config),
       rng_(config.seed),
-      fault_rng_(config.seed ^ 0xFA17B175DEADBEEFULL),
+      fault_rng_(config.fault_seed != 0 ? config.fault_seed
+                                        : config.seed ^ 0xFA17B175DEADBEEFULL),
       scheduler_(config.base_hz),
       ekf_(config.ekf),
       tracker_(config.tracker),

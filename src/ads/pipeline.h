@@ -53,6 +53,10 @@ struct PipelineConfig {
   PidConfig pid;
 
   std::uint64_t seed = 42;
+  // Seed of the fault-injection stream (bit positions). 0 derives it from
+  // `seed`; campaigns set it per run so injections stay order-independent
+  // while the sensor-noise stream remains identical to the golden twin.
+  std::uint64_t fault_seed = 0;
 };
 
 // One scene (camera frame) worth of state: the BN variables plus true and

@@ -1,28 +1,8 @@
 #include "core/campaign.h"
 
-#include <chrono>
-#include <sstream>
+#include "core/fault_model.h"
 
 namespace drivefi::core {
-
-void CampaignStats::add(const InjectionRecord& record) {
-  records.push_back(record);
-  switch (record.outcome) {
-    case Outcome::kMasked:
-      ++masked;
-      break;
-    case Outcome::kSdcBenign:
-      ++sdc_benign;
-      break;
-    case Outcome::kHang:
-      ++hang;
-      break;
-    case Outcome::kHazard:
-      ++hazard;
-      hazard_scenes.insert({record.scenario_index, record.scene_index});
-      break;
-  }
-}
 
 CampaignRunner::CampaignRunner(std::vector<sim::Scenario> scenarios,
                                ads::PipelineConfig pipeline_config,
@@ -31,61 +11,33 @@ CampaignRunner::CampaignRunner(std::vector<sim::Scenario> scenarios,
       pipeline_config_(pipeline_config),
       classifier_config_(classifier_config) {}
 
-const std::vector<GoldenTrace>& CampaignRunner::goldens() {
-  if (!goldens_ready_) {
-    goldens_ = run_golden_suite(scenarios_, pipeline_config_);
-    goldens_ready_ = true;
+Experiment& CampaignRunner::experiment() {
+  if (!experiment_) {
+    ExperimentOptions options;
+    options.hold_scenes = hold_scenes_;
+    experiment_ = std::make_unique<Experiment>(scenarios_, pipeline_config_,
+                                               classifier_config_, options);
   }
-  return goldens_;
+  return *experiment_;
+}
+
+void CampaignRunner::set_hold_scenes(double scenes) {
+  // Kept shim-side and passed per call below: the hold does not affect
+  // golden computation, and the old API kept goldens() references valid
+  // across set_hold_scenes, so the engine must not be rebuilt here.
+  hold_scenes_ = scenes;
+}
+
+const std::vector<GoldenTrace>& CampaignRunner::goldens() {
+  return experiment().goldens();
 }
 
 double CampaignRunner::mean_run_wall_seconds() {
-  const auto& traces = goldens();
-  if (traces.empty()) return 0.0;
-  double total = 0.0;
-  for (const auto& trace : traces) total += trace.wall_seconds;
-  return total / static_cast<double>(traces.size());
+  return experiment().mean_run_wall_seconds();
 }
 
 RunResult CampaignRunner::run_value_fault(const CandidateFault& fault) {
-  return run_value_fault_impl(fault, nullptr, targeted_hold_seconds());
-}
-
-RunResult CampaignRunner::run_value_fault_impl(const CandidateFault& fault,
-                                               InjectionRecord* record,
-                                               double hold_seconds) {
-  const sim::Scenario& scenario = scenarios_.at(fault.scenario_index);
-  const GoldenTrace& golden = goldens().at(fault.scenario_index);
-
-  sim::World world(scenario.world);
-  ads::AdsPipeline pipeline(world, pipeline_config_);
-
-  ads::ValueFault vf;
-  vf.target = fault.target;
-  vf.value = fault.value;
-  vf.start_time = fault.inject_time;
-  vf.hold_duration = hold_seconds;
-  pipeline.arm_value_fault(vf);
-
-  pipeline.run_for(scenario.duration);
-
-  const RunResult result =
-      classify_run(golden.scenes, pipeline.scenes(),
-                   pipeline.any_module_hung(), classifier_config_);
-  if (record) {
-    std::ostringstream desc;
-    desc << scenario.name << " t=" << fault.inject_time << " " << fault.target
-         << "=" << fault.value;
-    record->description = desc.str();
-    record->scenario_index = fault.scenario_index;
-    record->scene_index = result.outcome == Outcome::kHazard
-                              ? result.hazard_scene_index
-                              : fault.scene_index;
-    record->outcome = result.outcome;
-    record->min_delta_lon = result.min_delta_lon;
-    record->max_actuation_divergence = result.max_actuation_divergence;
-  }
-  return result;
+  return experiment().replay_value_fault(fault, targeted_hold_seconds());
 }
 
 RunResult CampaignRunner::run_bit_fault(std::size_t scenario_index,
@@ -93,122 +45,25 @@ RunResult CampaignRunner::run_bit_fault(std::size_t scenario_index,
                                         unsigned bits,
                                         std::uint64_t instruction_index,
                                         std::uint64_t seed) {
-  const sim::Scenario& scenario = scenarios_.at(scenario_index);
-  const GoldenTrace& golden = goldens().at(scenario_index);
-
-  ads::PipelineConfig config = pipeline_config_;
-  config.seed = pipeline_config_.seed;  // keep noise identical to golden
-  (void)seed;
-
-  sim::World world(scenario.world);
-  ads::AdsPipeline pipeline(world, config);
-
-  ads::BitFault bf;
-  bf.target = target;
-  bf.bits = bits;
-  bf.instruction_index = instruction_index;
-  pipeline.arm_bit_fault(bf);
-
-  pipeline.run_for(scenario.duration);
-  return classify_run(golden.scenes, pipeline.scenes(),
-                      pipeline.any_module_hung(), classifier_config_);
+  return experiment().replay_bit_fault(scenario_index, target, bits,
+                                       instruction_index, seed);
 }
 
 CampaignStats CampaignRunner::run_random_bitflip_campaign(std::size_t n,
                                                           std::uint64_t seed,
                                                           unsigned bits) {
-  const auto start = std::chrono::steady_clock::now();
-  goldens();  // ensure baselines exist before timing-sensitive loop
-
-  util::Rng rng(seed);
-  const auto targets = default_target_ranges();
-  CampaignStats stats;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t scenario_index = rng.uniform_index(scenarios_.size());
-    const auto& target = targets[rng.uniform_index(targets.size())];
-    // Instruction index uniform over a nominal run's retirement count:
-    // roughly perception-dominated ~5M instructions per simulated second.
-    const double duration = scenarios_[scenario_index].duration;
-    const auto instruction_index = static_cast<std::uint64_t>(
-        rng.uniform(0.0, duration * 5.0e6));
-
-    const RunResult result = run_bit_fault(scenario_index, target.name, bits,
-                                           instruction_index, rng.next_u64());
-    InjectionRecord record;
-    std::ostringstream desc;
-    desc << scenarios_[scenario_index].name << " bitflip " << target.name
-         << " @instr " << instruction_index;
-    record.description = desc.str();
-    record.scenario_index = scenario_index;
-    record.scene_index = result.hazard_scene_index;
-    record.outcome = result.outcome;
-    record.min_delta_lon = result.min_delta_lon;
-    record.max_actuation_divergence = result.max_actuation_divergence;
-    stats.add(record);
-  }
-  stats.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return stats;
+  return experiment().run(BitFlipModel(n, seed, bits));
 }
 
 CampaignStats CampaignRunner::run_random_value_campaign(std::size_t n,
                                                         std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
-  goldens();
-
-  util::Rng rng(seed);
-  const auto targets = default_target_ranges();
-  CampaignStats stats;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t scenario_index = rng.uniform_index(scenarios_.size());
-    const auto& target = targets[rng.uniform_index(targets.size())];
-    const double duration = scenarios_[scenario_index].duration;
-    const double inject_time = rng.uniform(1.0, duration - 1.0);
-
-    CandidateFault fault;
-    fault.scenario_index = scenario_index;
-    fault.scene_index = static_cast<std::size_t>(
-        inject_time * pipeline_config_.scene_hz);
-    fault.inject_time = inject_time;
-    fault.target = target.name;
-    fault.extreme = rng.bernoulli(0.5) ? Extreme::kMin : Extreme::kMax;
-    fault.value = fault.extreme == Extreme::kMin ? target.min_value
-                                                 : target.max_value;
-
-    InjectionRecord record;
-    // Random faults are TRANSIENT: held for one recompute period, the
-    // paper's model of why the high-rate stack masks them ("transient
-    // faults have little chance to propagate to actuators before a new
-    // system state is recalculated", SS II-C).
-    run_value_fault_impl(fault, &record, transient_hold_seconds());
-    stats.add(record);
-  }
-  stats.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return stats;
+  return experiment().run(RandomValueModel(n, seed));
 }
 
 CampaignStats CampaignRunner::run_selected_faults(
     const std::vector<SelectedFault>& faults) {
-  const auto start = std::chrono::steady_clock::now();
-  goldens();
-
-  CampaignStats stats;
-  for (const auto& selected : faults) {
-    InjectionRecord record;
-    // Selected faults replay with the stuck-at hold the predictor scored
-    // (the Bayesian injector controls the fault, so it holds it).
-    run_value_fault_impl(selected.fault, &record, targeted_hold_seconds());
-    stats.add(record);
-  }
-  stats.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return stats;
+  return experiment().run(
+      SelectedFaultModel(faults, targeted_hold_seconds()));
 }
 
 }  // namespace drivefi::core

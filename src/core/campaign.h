@@ -1,46 +1,26 @@
-// Campaign runner: executes injected runs against golden baselines and
-// aggregates outcomes. Drives all three of the paper's fault models --
-// (a) random bit flips in architectural state, (b) random min/max module
-// output corruption, (c) Bayesian-selected faults -- over the scenario
-// suite, and produces the statistics behind E1-E3/E8.
+// DEPRECATED compatibility shim -- use core/experiment.h instead.
+//
+// CampaignRunner was the original campaign layer: three bespoke entry
+// points (random bit flips, random value corruption, selected-fault
+// replay) with divergent parameter shapes, executed strictly
+// sequentially. It is now a thin adapter over the unified Experiment
+// engine (pluggable FaultModel strategies + deterministic parallel
+// execution) and will be removed in the next PR; it exists only so
+// downstream code has one release to migrate.
 #pragma once
 
-#include <set>
+#include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "core/campaign_stats.h"
+#include "core/experiment.h"
 #include "core/fault_catalog.h"
 #include "core/outcome.h"
 #include "core/selector.h"
 #include "core/trace.h"
-#include "util/rng.h"
 
 namespace drivefi::core {
-
-struct InjectionRecord {
-  std::string description;
-  std::size_t scenario_index = 0;
-  std::size_t scene_index = 0;
-  Outcome outcome = Outcome::kMasked;
-  double min_delta_lon = 0.0;
-  double max_actuation_divergence = 0.0;
-};
-
-struct CampaignStats {
-  std::vector<InjectionRecord> records;
-  std::size_t masked = 0;
-  std::size_t sdc_benign = 0;
-  std::size_t hang = 0;
-  std::size_t hazard = 0;
-  // Distinct (scenario, scene) pairs where a hazard manifested -- the
-  // paper's "68 safety-critical scenes".
-  std::set<std::pair<std::size_t, std::size_t>> hazard_scenes;
-  double wall_seconds = 0.0;
-
-  std::size_t total() const { return records.size(); }
-  void add(const InjectionRecord& record);
-};
 
 class CampaignRunner {
  public:
@@ -48,12 +28,8 @@ class CampaignRunner {
                  ads::PipelineConfig pipeline_config,
                  ClassifierConfig classifier_config = {});
 
-  // How many scene periods a TARGETED value fault is held (stuck-at)
-  // during replay; keep equal to SafetyPredictor::horizon() so replays
-  // validate exactly what the selector predicted. Default matches the
-  // predictor's default 4-slice unroll. Random-campaign faults instead
-  // hold for one control period (transient, the paper's random model).
-  void set_hold_scenes(double scenes) { hold_scenes_ = scenes; }
+  // DEPRECATED: ExperimentOptions::hold_scenes.
+  void set_hold_scenes(double scenes);
   double hold_scenes() const { return hold_scenes_; }
   double targeted_hold_seconds() const {
     return hold_scenes_ / pipeline_config_.scene_hz;
@@ -63,47 +39,41 @@ class CampaignRunner {
   }
 
   const std::vector<sim::Scenario>& scenarios() const { return scenarios_; }
-  // Golden traces, computed on first use and cached.
+  // DEPRECATED: Experiment::goldens() (precomputed eagerly there).
   const std::vector<GoldenTrace>& goldens();
 
-  // Average wall-clock seconds per full-simulation injected run, measured
-  // from the golden runs (used by the E1 exhaustive-cost model).
+  // DEPRECATED: Experiment::mean_run_wall_seconds().
   double mean_run_wall_seconds();
 
-  // Execute one value-corruption fault (transient: held for one scene
-  // period) and classify against the golden baseline.
+  // DEPRECATED: Experiment::replay_value_fault(fault, hold).
   RunResult run_value_fault(const CandidateFault& fault);
 
-  // Execute one hardware bit-flip fault at the given dynamic-instruction
-  // index into the named register.
+  // DEPRECATED: Experiment::replay_bit_fault(...).
   RunResult run_bit_fault(std::size_t scenario_index,
                           const std::string& target, unsigned bits,
                           std::uint64_t instruction_index,
                           std::uint64_t seed);
 
-  // Fault model (a): n uniform-random single/multi-bit injections.
+  // DEPRECATED: Experiment::run(BitFlipModel(n, seed, bits)).
   CampaignStats run_random_bitflip_campaign(std::size_t n, std::uint64_t seed,
                                             unsigned bits = 1);
 
-  // Fault model (b), random baseline: n uniform-random (scenario, time,
-  // target, min/max) value corruptions.
+  // DEPRECATED: Experiment::run(RandomValueModel(n, seed)).
   CampaignStats run_random_value_campaign(std::size_t n, std::uint64_t seed);
 
-  // Fault model (c): replay the Bayesian-selected faults in full
-  // simulation (the E2 validation step).
+  // DEPRECATED: Experiment::run(SelectedFaultModel(faults)).
   CampaignStats run_selected_faults(const std::vector<SelectedFault>& faults);
 
  private:
-  RunResult run_value_fault_impl(const CandidateFault& fault,
-                                 InjectionRecord* record,
-                                 double hold_seconds);
+  Experiment& experiment();
 
   std::vector<sim::Scenario> scenarios_;
   ads::PipelineConfig pipeline_config_;
   ClassifierConfig classifier_config_;
-  std::vector<GoldenTrace> goldens_;
-  bool goldens_ready_ = false;
   double hold_scenes_ = 2.0;
+  // Constructed on first use to preserve the old cheap-constructor
+  // behavior (Experiment runs the golden suite eagerly).
+  std::unique_ptr<Experiment> experiment_;
 };
 
 }  // namespace drivefi::core

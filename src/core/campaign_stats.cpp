@@ -1,0 +1,24 @@
+#include "core/campaign_stats.h"
+
+namespace drivefi::core {
+
+void CampaignStats::add(const InjectionRecord& record) {
+  records.push_back(record);
+  switch (record.outcome) {
+    case Outcome::kMasked:
+      ++masked;
+      break;
+    case Outcome::kSdcBenign:
+      ++sdc_benign;
+      break;
+    case Outcome::kHang:
+      ++hang;
+      break;
+    case Outcome::kHazard:
+      ++hazard;
+      hazard_scenes.insert({record.scenario_index, record.scene_index});
+      break;
+  }
+}
+
+}  // namespace drivefi::core

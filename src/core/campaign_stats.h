@@ -1,0 +1,43 @@
+// Campaign result records and their aggregate statistics. One
+// InjectionRecord per injected run; CampaignStats is the in-memory
+// aggregation every fault model's campaign reduces to (the paper's
+// masked / SDC / hang / hazard taxonomy plus the distinct-hazard-scene
+// count behind its "68 safety-critical scenes").
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/outcome.h"
+
+namespace drivefi::core {
+
+struct InjectionRecord {
+  std::size_t run_index = 0;  // position within the campaign
+  std::string description;
+  std::size_t scenario_index = 0;
+  std::size_t scene_index = 0;
+  Outcome outcome = Outcome::kMasked;
+  double min_delta_lon = 0.0;
+  double max_actuation_divergence = 0.0;
+};
+
+struct CampaignStats {
+  std::vector<InjectionRecord> records;
+  std::size_t masked = 0;
+  std::size_t sdc_benign = 0;
+  std::size_t hang = 0;
+  std::size_t hazard = 0;
+  // Distinct (scenario, scene) pairs where a hazard manifested -- the
+  // paper's "68 safety-critical scenes".
+  std::set<std::pair<std::size_t, std::size_t>> hazard_scenes;
+  double wall_seconds = 0.0;
+
+  std::size_t total() const { return records.size(); }
+  void add(const InjectionRecord& record);
+};
+
+}  // namespace drivefi::core

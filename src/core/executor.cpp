@@ -1,0 +1,11 @@
+#include "core/executor.h"
+
+namespace drivefi::core {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace drivefi::core

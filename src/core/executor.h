@@ -1,0 +1,107 @@
+// Deterministic parallel campaign execution. A ParallelExecutor fans
+// independent runs out over a std::thread pool and delivers results to the
+// consumer in strictly increasing run-index order (a small reorder buffer
+// holds out-of-order completions). Because every run derives its own seed
+// from (campaign_seed, run_index) and the consumer sees index order, a
+// campaign's output is bit-identical regardless of thread count or
+// completion order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace drivefi::core {
+
+struct ExecutorConfig {
+  // 0 means std::thread::hardware_concurrency (at least 1).
+  unsigned threads = 0;
+};
+
+// Resolves a thread-count request against the machine (0 -> all hardware
+// threads; never less than 1).
+unsigned resolve_thread_count(unsigned requested);
+
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ExecutorConfig config = {})
+      : threads_(resolve_thread_count(config.threads)) {}
+
+  unsigned threads() const { return threads_; }
+
+  // Runs produce(i) for every i in [0, n) across the pool, in arbitrary
+  // order, and calls consume(result) exactly once per run in strictly
+  // increasing i order. consume always executes under an internal lock, so
+  // it may touch unsynchronized state (stats, streams); produce runs
+  // concurrently and must be re-entrant. The first exception thrown by
+  // produce or consume cancels outstanding work and emission, and is
+  // rethrown on the calling thread.
+  template <typename Result>
+  void run_ordered(std::size_t n,
+                   const std::function<Result(std::size_t)>& produce,
+                   const std::function<void(Result&&)>& consume) const {
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, n == 0 ? 1 : n));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) consume(produce(i));
+      return;
+    }
+
+    std::vector<std::optional<Result>> pending(n);
+    std::atomic<std::size_t> next_claim{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex emit_mutex;
+    std::size_t next_emit = 0;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next_claim.fetch_add(1);
+        if (i >= n || cancelled.load()) return;
+        std::optional<Result> result;
+        try {
+          result = produce(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(emit_mutex);
+          if (!first_error) first_error = std::current_exception();
+          cancelled.store(true);
+          return;
+        }
+        std::lock_guard<std::mutex> lock(emit_mutex);
+        if (cancelled.load()) return;
+        pending[i] = std::move(result);
+        // Each ready result is taken out of the buffer BEFORE consume so a
+        // throwing sink can never re-deliver a moved-from record.
+        while (next_emit < n && pending[next_emit].has_value()) {
+          Result ready = std::move(*pending[next_emit]);
+          pending[next_emit].reset();
+          ++next_emit;
+          try {
+            consume(std::move(ready));
+          } catch (...) {
+            if (!first_error) first_error = std::current_exception();
+            cancelled.store(true);
+            return;
+          }
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace drivefi::core

@@ -1,0 +1,136 @@
+#include "core/experiment.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/fault_model.h"
+
+namespace drivefi::core {
+
+Experiment::Experiment(std::vector<sim::Scenario> scenarios,
+                       ads::PipelineConfig pipeline_config,
+                       ClassifierConfig classifier_config,
+                       ExperimentOptions options)
+    : scenarios_(std::move(scenarios)),
+      pipeline_config_(pipeline_config),
+      classifier_config_(classifier_config),
+      options_(options),
+      goldens_(run_golden_suite(scenarios_, pipeline_config_)) {}
+
+double Experiment::mean_run_wall_seconds() const {
+  if (goldens_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& trace : goldens_) total += trace.wall_seconds;
+  return total / static_cast<double>(goldens_.size());
+}
+
+CampaignStats Experiment::run(const FaultModel& model,
+                              const std::vector<ResultSink*>& sinks) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n = model.run_count();
+
+  CampaignMeta meta;
+  meta.model_name = model.name();
+  meta.planned_runs = n;
+  for (ResultSink* sink : sinks) sink->begin(meta);
+
+  CampaignStats stats;
+  const ParallelExecutor executor(options_.executor);
+  executor.run_ordered<InjectionRecord>(
+      n, [&](std::size_t i) { return execute(model.spec(i, *this)); },
+      [&](InjectionRecord&& record) {
+        stats.add(record);
+        for (ResultSink* sink : sinks) sink->consume(record);
+      });
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (ResultSink* sink : sinks) sink->finish(stats);
+  return stats;
+}
+
+InjectionRecord Experiment::execute(const RunSpec& spec) const {
+  InjectionRecord record;
+  record.run_index = spec.run_index;
+  record.description = spec.description;
+
+  if (spec.kind == RunSpec::Kind::kValue) {
+    const RunResult result = replay_value_fault(spec.fault, spec.hold_seconds);
+    if (record.description.empty()) {
+      std::ostringstream desc;
+      desc << scenarios_.at(spec.fault.scenario_index).name
+           << " t=" << spec.fault.inject_time << " " << spec.fault.target
+           << "=" << spec.fault.value;
+      record.description = desc.str();
+    }
+    record.scenario_index = spec.fault.scenario_index;
+    record.scene_index = result.outcome == Outcome::kHazard
+                             ? result.hazard_scene_index
+                             : spec.fault.scene_index;
+    record.outcome = result.outcome;
+    record.min_delta_lon = result.min_delta_lon;
+    record.max_actuation_divergence = result.max_actuation_divergence;
+    return record;
+  }
+
+  const RunResult result =
+      replay_bit_fault(spec.scenario_index, spec.target, spec.bits,
+                       spec.instruction_index, spec.fault_seed);
+  record.scenario_index = spec.scenario_index;
+  record.scene_index = result.hazard_scene_index;
+  record.outcome = result.outcome;
+  record.min_delta_lon = result.min_delta_lon;
+  record.max_actuation_divergence = result.max_actuation_divergence;
+  return record;
+}
+
+RunResult Experiment::replay_value_fault(const CandidateFault& fault,
+                                         double hold_seconds) const {
+  const sim::Scenario& scenario = scenarios_.at(fault.scenario_index);
+  const GoldenTrace& golden = goldens_.at(fault.scenario_index);
+
+  sim::World world(scenario.world);
+  ads::AdsPipeline pipeline(world, pipeline_config_);
+
+  ads::ValueFault vf;
+  vf.target = fault.target;
+  vf.value = fault.value;
+  vf.start_time = fault.inject_time;
+  vf.hold_duration = hold_seconds;
+  pipeline.arm_value_fault(vf);
+
+  pipeline.run_for(scenario.duration);
+  return classify_run(golden.scenes, pipeline.scenes(),
+                      pipeline.any_module_hung(), classifier_config_);
+}
+
+RunResult Experiment::replay_bit_fault(std::size_t scenario_index,
+                                       const std::string& target,
+                                       unsigned bits,
+                                       std::uint64_t instruction_index,
+                                       std::uint64_t fault_seed) const {
+  const sim::Scenario& scenario = scenarios_.at(scenario_index);
+  const GoldenTrace& golden = goldens_.at(scenario_index);
+
+  // The sensor-noise seed stays identical to the golden run so the
+  // injected run is its exact counterfactual twin; only the bit-position
+  // stream is per-run.
+  ads::PipelineConfig config = pipeline_config_;
+  config.fault_seed = fault_seed;
+
+  sim::World world(scenario.world);
+  ads::AdsPipeline pipeline(world, config);
+
+  ads::BitFault bf;
+  bf.target = target;
+  bf.bits = bits;
+  bf.instruction_index = instruction_index;
+  pipeline.arm_bit_fault(bf);
+
+  pipeline.run_for(scenario.duration);
+  return classify_run(golden.scenes, pipeline.scenes(),
+                      pipeline.any_module_hung(), classifier_config_);
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,92 @@
+// The unified campaign engine. One Experiment owns a scenario suite, an
+// ADS configuration, and eagerly precomputed golden traces; every fault
+// model (random bit flips, random value corruption, Bayesian-selected
+// replays) runs through the same loop: FaultModel yields RunSpecs, a
+// ParallelExecutor replays them against the goldens concurrently, and the
+// classified records stream to ResultSinks in run-index order.
+//
+// Determinism: per-run randomness derives from (campaign seed, run index)
+// via splitmix64, golden traces are computed once up front, and every
+// replay constructs its own World/AdsPipeline -- so Experiment is const
+// and re-entrant during a campaign, and the resulting CampaignStats are
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign_stats.h"
+#include "core/executor.h"
+#include "core/fault_catalog.h"
+#include "core/outcome.h"
+#include "core/result_sink.h"
+#include "core/trace.h"
+
+namespace drivefi::core {
+
+class FaultModel;
+struct RunSpec;
+
+struct ExperimentOptions {
+  // How many scene periods a TARGETED value fault is held (stuck-at)
+  // during replay; keep equal to SafetyPredictor::horizon() so replays
+  // validate exactly what the selector predicted. Random-campaign faults
+  // instead hold for one control period (transient, the paper's random
+  // model).
+  double hold_scenes = 2.0;
+  ExecutorConfig executor;
+};
+
+class Experiment {
+ public:
+  // Runs the golden suite eagerly: after construction the engine is
+  // immutable and safe to share across worker threads.
+  Experiment(std::vector<sim::Scenario> scenarios,
+             ads::PipelineConfig pipeline_config,
+             ClassifierConfig classifier_config = {},
+             ExperimentOptions options = {});
+
+  const std::vector<sim::Scenario>& scenarios() const { return scenarios_; }
+  const std::vector<GoldenTrace>& goldens() const { return goldens_; }
+  const ads::PipelineConfig& pipeline_config() const { return pipeline_config_; }
+  const ExperimentOptions& options() const { return options_; }
+
+  double hold_scenes() const { return options_.hold_scenes; }
+  double targeted_hold_seconds() const {
+    return options_.hold_scenes / pipeline_config_.scene_hz;
+  }
+  double transient_hold_seconds() const {
+    return 1.0 / pipeline_config_.control_hz;
+  }
+
+  // Average wall-clock seconds per full-simulation run, measured from the
+  // golden runs (used by the E1 exhaustive-cost model).
+  double mean_run_wall_seconds() const;
+
+  // Execute one campaign: every spec of the model, in parallel, delivered
+  // to the sinks in run-index order. Returns the aggregate stats.
+  CampaignStats run(const FaultModel& model,
+                    const std::vector<ResultSink*>& sinks = {}) const;
+
+  // Execute a single RunSpec and classify it (const, re-entrant; this is
+  // what campaign workers call).
+  InjectionRecord execute(const RunSpec& spec) const;
+
+  // One-off replays for case studies and tests.
+  RunResult replay_value_fault(const CandidateFault& fault,
+                               double hold_seconds) const;
+  RunResult replay_bit_fault(std::size_t scenario_index,
+                             const std::string& target, unsigned bits,
+                             std::uint64_t instruction_index,
+                             std::uint64_t fault_seed) const;
+
+ private:
+  std::vector<sim::Scenario> scenarios_;
+  ads::PipelineConfig pipeline_config_;
+  ClassifierConfig classifier_config_;
+  ExperimentOptions options_;
+  std::vector<GoldenTrace> goldens_;
+};
+
+}  // namespace drivefi::core

@@ -1,0 +1,88 @@
+#include "core/fault_model.h"
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "util/rng.h"
+
+namespace drivefi::core {
+
+BitFlipModel::BitFlipModel(std::size_t n, std::uint64_t seed, unsigned bits)
+    : n_(n), seed_(seed), bits_(bits), targets_(default_target_ranges()) {}
+
+RunSpec BitFlipModel::spec(std::size_t run_index,
+                           const Experiment& experiment) const {
+  util::Rng rng(util::derive_run_seed(seed_, run_index));
+  const auto& scenarios = experiment.scenarios();
+
+  RunSpec spec;
+  spec.kind = RunSpec::Kind::kBit;
+  spec.run_index = run_index;
+  spec.scenario_index = rng.uniform_index(scenarios.size());
+  spec.target = targets_[rng.uniform_index(targets_.size())].name;
+  spec.bits = bits_;
+  // Instruction index uniform over a nominal run's retirement count:
+  // roughly perception-dominated ~5M instructions per simulated second.
+  const double duration = scenarios[spec.scenario_index].duration;
+  spec.instruction_index =
+      static_cast<std::uint64_t>(rng.uniform(0.0, duration * 5.0e6));
+  spec.fault_seed = rng.next_u64();
+
+  std::ostringstream desc;
+  desc << scenarios[spec.scenario_index].name << " bitflip " << spec.target
+       << " @instr " << spec.instruction_index;
+  spec.description = desc.str();
+  return spec;
+}
+
+RandomValueModel::RandomValueModel(std::size_t n, std::uint64_t seed)
+    : n_(n), seed_(seed), targets_(default_target_ranges()) {}
+
+RunSpec RandomValueModel::spec(std::size_t run_index,
+                               const Experiment& experiment) const {
+  util::Rng rng(util::derive_run_seed(seed_, run_index));
+  const auto& scenarios = experiment.scenarios();
+
+  RunSpec spec;
+  spec.kind = RunSpec::Kind::kValue;
+  spec.run_index = run_index;
+  // Random faults are TRANSIENT: held for one recompute period, the
+  // paper's model of why the high-rate stack masks them ("transient
+  // faults have little chance to propagate to actuators before a new
+  // system state is recalculated", SS II-C).
+  spec.hold_seconds = experiment.transient_hold_seconds();
+
+  CandidateFault& fault = spec.fault;
+  fault.scenario_index = rng.uniform_index(scenarios.size());
+  const TargetRange& target = targets_[rng.uniform_index(targets_.size())];
+  const double duration = scenarios[fault.scenario_index].duration;
+  fault.inject_time = rng.uniform(1.0, duration - 1.0);
+  fault.scene_index = static_cast<std::size_t>(
+      fault.inject_time * experiment.pipeline_config().scene_hz);
+  fault.target = target.name;
+  fault.extreme = rng.bernoulli(0.5) ? Extreme::kMin : Extreme::kMax;
+  fault.value =
+      fault.extreme == Extreme::kMin ? target.min_value : target.max_value;
+  return spec;
+}
+
+SelectedFaultModel::SelectedFaultModel(std::vector<SelectedFault> faults,
+                                       double hold_seconds_override)
+    : faults_(std::move(faults)),
+      hold_seconds_override_(hold_seconds_override) {}
+
+RunSpec SelectedFaultModel::spec(std::size_t run_index,
+                                 const Experiment& experiment) const {
+  RunSpec spec;
+  spec.kind = RunSpec::Kind::kValue;
+  spec.run_index = run_index;
+  spec.fault = faults_.at(run_index).fault;
+  // Selected faults replay with the stuck-at hold the predictor scored
+  // (the Bayesian injector controls the fault, so it holds it).
+  spec.hold_seconds = hold_seconds_override_ >= 0.0
+                          ? hold_seconds_override_
+                          : experiment.targeted_hold_seconds();
+  return spec;
+}
+
+}  // namespace drivefi::core

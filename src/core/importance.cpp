@@ -97,8 +97,9 @@ ImportanceReport rank_targets(const std::vector<SelectedFault>& selected,
                               const CampaignStats& replayed) {
   std::map<std::string, Accumulator> acc;
   accumulate_selection(selected, acc);
-  // run_selected_faults records outcomes positionally; the description
-  // embeds the target name, but the paired fault list is authoritative.
+  // SelectedFaultModel campaigns record outcomes positionally; the
+  // description embeds the target name, but the paired fault list is
+  // authoritative.
   const std::size_t n = std::min(selected.size(), replayed.records.size());
   for (std::size_t i = 0; i < n; ++i) {
     Accumulator& a = acc[selected[i].fault.target];

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/campaign.h"
+#include "core/campaign_stats.h"
 #include "core/selector.h"
 #include "util/table.h"
 
@@ -38,8 +38,8 @@ struct ImportanceReport {
 };
 
 // Joins selection output with replay outcomes. `replayed` must be the
-// CampaignStats returned by CampaignRunner::run_selected_faults for the
-// same fault list (records are matched by position).
+// CampaignStats returned by Experiment::run(SelectedFaultModel(...)) for
+// the same fault list (records are matched by position).
 ImportanceReport rank_targets(const std::vector<SelectedFault>& selected,
                               const CampaignStats& replayed);
 

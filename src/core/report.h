@@ -2,7 +2,7 @@
 // tables in the shape of the paper's evaluation section.
 #pragma once
 
-#include "core/campaign.h"
+#include "core/campaign_stats.h"
 #include "core/selector.h"
 #include "util/table.h"
 

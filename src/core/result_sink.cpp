@@ -1,0 +1,82 @@
+#include "core/result_sink.h"
+
+#include <iomanip>
+
+namespace drivefi::core {
+
+namespace {
+
+// Quotes a CSV field (descriptions contain spaces and '='; quoting
+// unconditionally keeps the format trivial to parse).
+std::string csv_quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& field) {
+  std::string out;
+  for (char c : field) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void CsvSink::begin(const CampaignMeta& meta) {
+  (void)meta;
+  out_ << "run_index,description,scenario_index,scene_index,outcome,"
+          "min_delta_lon,max_actuation_divergence\n";
+}
+
+void CsvSink::consume(const InjectionRecord& record) {
+  out_ << record.run_index << ',' << csv_quote(record.description) << ','
+       << record.scenario_index << ',' << record.scene_index << ','
+       << outcome_name(record.outcome) << ',' << std::setprecision(17)
+       << record.min_delta_lon << ',' << record.max_actuation_divergence
+       << '\n';
+}
+
+void JsonlSink::begin(const CampaignMeta& meta) {
+  out_ << "{\"type\":\"campaign\",\"model\":\"" << json_escape(meta.model_name)
+       << "\",\"planned_runs\":" << meta.planned_runs << "}\n";
+}
+
+void JsonlSink::consume(const InjectionRecord& record) {
+  out_ << "{\"type\":\"run\",\"run_index\":" << record.run_index
+       << ",\"description\":\"" << json_escape(record.description)
+       << "\",\"scenario_index\":" << record.scenario_index
+       << ",\"scene_index\":" << record.scene_index << ",\"outcome\":\""
+       << outcome_name(record.outcome) << "\",\"min_delta_lon\":"
+       << std::setprecision(17) << record.min_delta_lon
+       << ",\"max_actuation_divergence\":" << record.max_actuation_divergence
+       << "}\n";
+}
+
+void JsonlSink::finish(const CampaignStats& stats) {
+  out_ << "{\"type\":\"summary\",\"total\":" << stats.total()
+       << ",\"masked\":" << stats.masked << ",\"sdc_benign\":" << stats.sdc_benign
+       << ",\"hang\":" << stats.hang << ",\"hazard\":" << stats.hazard
+       << ",\"hazard_scenes\":" << stats.hazard_scenes.size()
+       << ",\"wall_seconds\":" << std::setprecision(17) << stats.wall_seconds
+       << "}\n";
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,74 @@
+// Result sinks: one uniform consumer shape for campaign output. The
+// Experiment engine aggregates CampaignStats itself and additionally
+// streams every InjectionRecord -- in run-index order, regardless of
+// thread count -- to any attached sinks, so reports, benches, and file
+// exports all consume the same records without re-running anything.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "core/campaign_stats.h"
+
+namespace drivefi::core {
+
+// Immutable campaign header handed to sinks before the first record.
+struct CampaignMeta {
+  std::string model_name;     // FaultModel::name()
+  std::size_t planned_runs = 0;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void begin(const CampaignMeta& meta) { (void)meta; }
+  // Called once per run, in strictly increasing run_index order, never
+  // concurrently (the executor serializes delivery).
+  virtual void consume(const InjectionRecord& record) = 0;
+  virtual void finish(const CampaignStats& stats) { (void)stats; }
+};
+
+// In-memory aggregation for callers that want CampaignStats from a sink
+// pipeline (the engine also returns stats directly).
+class StatsSink : public ResultSink {
+ public:
+  void consume(const InjectionRecord& record) override { stats_.add(record); }
+  void finish(const CampaignStats& stats) override {
+    stats_.wall_seconds = stats.wall_seconds;
+  }
+
+  const CampaignStats& stats() const { return stats_; }
+
+ private:
+  CampaignStats stats_;
+};
+
+// Streaming CSV: a header row, then one row per record as it completes.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+
+  void begin(const CampaignMeta& meta) override;
+  void consume(const InjectionRecord& record) override;
+
+ private:
+  std::ostream& out_;
+};
+
+// Streaming JSONL: one JSON object per record, plus a final summary line
+// with the aggregate outcome counts.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void begin(const CampaignMeta& meta) override;
+  void consume(const InjectionRecord& record) override;
+  void finish(const CampaignStats& stats) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace drivefi::core

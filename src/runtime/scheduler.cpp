@@ -1,16 +1,27 @@
 #include "runtime/scheduler.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace drivefi::runtime {
 
 void Scheduler::add_module(const std::string& name, double rate_hz,
                            std::function<void(double)> tick_fn) {
-  assert(rate_hz > 0.0 && rate_hz <= base_hz_);
-  const auto period =
-      static_cast<std::uint64_t>(std::llround(base_hz_ / rate_hz));
-  assert(period >= 1);
+  if (!(rate_hz > 0.0) || rate_hz > base_hz_)
+    throw std::invalid_argument("Scheduler::add_module(\"" + name +
+                                "\"): rate " + std::to_string(rate_hz) +
+                                " Hz must be in (0, " +
+                                std::to_string(base_hz_) + "] Hz");
+  const double ratio = base_hz_ / rate_hz;
+  const auto period = static_cast<std::uint64_t>(std::llround(ratio));
+  // Tolerate only floating-point representation error (e.g. 120/7.5), not
+  // real mismatches: 70 Hz on a 120 Hz base would silently tick at 60 Hz
+  // and skew every campaign's timing.
+  if (period < 1 || std::abs(ratio - static_cast<double>(period)) > 1e-9 * ratio)
+    throw std::invalid_argument(
+        "Scheduler::add_module(\"" + name + "\"): rate " +
+        std::to_string(rate_hz) + " Hz does not evenly divide the " +
+        std::to_string(base_hz_) + " Hz base rate");
   entries_.push_back({name, period, std::move(tick_fn), true});
 }
 

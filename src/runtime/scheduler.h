@@ -22,8 +22,10 @@ class Scheduler {
   double now() const { return static_cast<double>(tick_) * dt(); }
   std::uint64_t tick() const { return tick_; }
 
-  // Callback receives the current simulation time. rate_hz must divide
-  // base_hz (checked; rounded to the nearest integer divisor).
+  // Callback receives the current simulation time. rate_hz must evenly
+  // divide base_hz: a rate that would silently round to a different
+  // integer divisor skews campaign timing, so it is rejected with
+  // std::invalid_argument instead.
   void add_module(const std::string& name, double rate_hz,
                   std::function<void(double)> tick_fn);
 

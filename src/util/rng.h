@@ -9,6 +9,27 @@
 
 namespace drivefi::util {
 
+// One splitmix64 step: advances the state and returns the next word.
+// Exposed so campaign code can derive independent per-run seeds.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Derives the seed for run `run_index` of a campaign seeded with
+// `campaign_seed`. Each run gets an independent stream that depends only
+// on the pair (campaign_seed, run_index), never on execution order, so a
+// campaign's results are bit-identical at any thread count.
+inline std::uint64_t derive_run_seed(std::uint64_t campaign_seed,
+                                     std::uint64_t run_index) {
+  std::uint64_t state = campaign_seed ^ (run_index * 0xd1342543de82ef95ULL);
+  (void)splitmix64_next(state);
+  return splitmix64_next(state);
+}
+
 // xoshiro256** by Blackman & Vigna, seeded via splitmix64. Chosen over
 // std::mt19937 for speed and because its output sequence is identical
 // across standard-library implementations, which keeps campaign replays
@@ -20,13 +41,7 @@ class Rng {
   void reseed(std::uint64_t seed) {
     // splitmix64 expansion of the seed into the 256-bit state.
     std::uint64_t x = seed;
-    for (auto& word : state_) {
-      x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
-    }
+    for (auto& word : state_) word = splitmix64_next(x);
     has_spare_gaussian_ = false;
   }
 

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include <sstream>
+
 #include "core/bayes_model.h"
 #include "core/campaign.h"
+#include "core/experiment.h"
 #include "core/fault_catalog.h"
+#include "core/fault_model.h"
 #include "core/importance.h"
 #include "core/outcome.h"
 #include "core/report.h"
+#include "core/result_sink.h"
 #include "core/scene_library.h"
 #include "core/selector.h"
 #include "core/trace.h"
@@ -333,8 +338,8 @@ TEST(MiniCampaign, EndToEndSelectorAndValidation) {
   // Small but complete DriveFI loop: golden -> fit BN -> select -> replay.
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[2],
                                           sim::example1_lead_lane_change()};
-  CampaignRunner runner(scenarios, test_pipeline_config());
-  const auto& goldens = runner.goldens();
+  Experiment experiment(scenarios, test_pipeline_config());
+  const auto& goldens = experiment.goldens();
   ASSERT_EQ(goldens.size(), 2u);
 
   SafetyPredictor predictor(goldens);
@@ -351,7 +356,7 @@ TEST(MiniCampaign, EndToEndSelectorAndValidation) {
                                  selection.critical.begin() +
                                      std::min<std::size_t>(
                                          10, selection.critical.size()));
-  const CampaignStats replay = runner.run_selected_faults(top);
+  const CampaignStats replay = experiment.run(SelectedFaultModel(top));
   EXPECT_EQ(replay.total(), top.size());
 
   // Report tables render without crashing and contain the key rows.
@@ -361,7 +366,7 @@ TEST(MiniCampaign, EndToEndSelectorAndValidation) {
 
 TEST(Campaign, ValueFaultRunsClassify) {
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[1]};
-  CampaignRunner runner(scenarios, test_pipeline_config());
+  Experiment experiment(scenarios, test_pipeline_config());
 
   CandidateFault benign;
   benign.scenario_index = 0;
@@ -370,38 +375,72 @@ TEST(Campaign, ValueFaultRunsClassify) {
   benign.target = "control.throttle";
   benign.extreme = Extreme::kMin;
   benign.value = 0.0;  // killing throttle for a frame is benign
-  const RunResult result = runner.run_value_fault(benign);
+  const RunResult result = experiment.replay_value_fault(
+      benign, experiment.targeted_hold_seconds());
   EXPECT_NE(result.outcome, Outcome::kHazard);
 }
 
 TEST(Campaign, RandomValueCampaignStats) {
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[1]};
-  CampaignRunner runner(scenarios, test_pipeline_config());
-  const CampaignStats stats = runner.run_random_value_campaign(8, 99);
+  Experiment experiment(scenarios, test_pipeline_config());
+  const CampaignStats stats = experiment.run(RandomValueModel(8, 99));
   EXPECT_EQ(stats.total(), 8u);
   EXPECT_EQ(stats.masked + stats.sdc_benign + stats.hang + stats.hazard, 8u);
+  // Records arrive in run-index order regardless of execution order.
+  for (std::size_t i = 0; i < stats.records.size(); ++i)
+    EXPECT_EQ(stats.records[i].run_index, i);
   const auto table = outcome_table(stats);
   EXPECT_NE(table.to_csv().find("masked"), std::string::npos);
 }
 
 TEST(Campaign, RandomBitflipCampaignStats) {
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[1]};
-  CampaignRunner runner(scenarios, test_pipeline_config());
-  const CampaignStats stats = runner.run_random_bitflip_campaign(8, 7);
+  Experiment experiment(scenarios, test_pipeline_config());
+  const CampaignStats stats = experiment.run(BitFlipModel(8, 7));
   EXPECT_EQ(stats.total(), 8u);
   EXPECT_EQ(stats.masked + stats.sdc_benign + stats.hang + stats.hazard, 8u);
 }
 
+TEST(Campaign, SinksSeeEveryRecordInOrder) {
+  std::vector<sim::Scenario> scenarios = {sim::base_suite()[1]};
+  Experiment experiment(scenarios, test_pipeline_config());
+
+  StatsSink stats_sink;
+  std::ostringstream csv;
+  CsvSink csv_sink(csv);
+  std::ostringstream jsonl;
+  JsonlSink jsonl_sink(jsonl);
+  const CampaignStats stats = experiment.run(
+      RandomValueModel(5, 321), {&stats_sink, &csv_sink, &jsonl_sink});
+
+  EXPECT_EQ(stats_sink.stats().total(), stats.total());
+  EXPECT_EQ(stats_sink.stats().hazard, stats.hazard);
+
+  // CSV: header + one row per record.
+  std::size_t lines = 0;
+  std::string line;
+  std::istringstream csv_in(csv.str());
+  while (std::getline(csv_in, line)) ++lines;
+  EXPECT_EQ(lines, stats.total() + 1);
+
+  // JSONL: campaign header + records + summary, streamed in order.
+  EXPECT_NE(jsonl.str().find("\"model\":\"random-value\""), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"run_index\":4"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"type\":\"summary\""), std::string::npos);
+}
+
 TEST(Campaign, MeanRunWallSecondsPositive) {
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[0]};
-  CampaignRunner runner(scenarios, test_pipeline_config());
-  EXPECT_GT(runner.mean_run_wall_seconds(), 0.0);
+  Experiment experiment(scenarios, test_pipeline_config());
+  EXPECT_GT(experiment.mean_run_wall_seconds(), 0.0);
 }
 
 TEST(Campaign, TargetedHoldOutlastsTransientHold) {
   // Random faults are transient (one control period); targeted replays
   // hold for the predictor's horizon. The asymmetry is the paper's: the
   // recompute rate masks transients, the Bayesian injector holds.
+  // (Exercised through the deprecated CampaignRunner shim, which must
+  // keep the old semantics for one release.)
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[0]};
   CampaignRunner runner(scenarios, test_pipeline_config());
   EXPECT_NEAR(runner.transient_hold_seconds(), 1.0 / 30.0, 1e-12);

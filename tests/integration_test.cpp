@@ -7,7 +7,8 @@
 #include <algorithm>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
 #include "core/selector.h"
 #include "sim/scenario.h"
 
@@ -54,8 +55,8 @@ TEST(Integration, Example1AccelFaultAtCriticalSceneCausesHazard) {
   // braking, which originates downstream of it.
   const auto scenario = sim::example1_lead_lane_change();
   std::vector<sim::Scenario> scenarios{scenario};
-  CampaignRunner runner(scenarios, pipeline_config());
-  const auto& golden = runner.goldens()[0];
+  Experiment experiment(scenarios, pipeline_config());
+  const auto& golden = experiment.goldens()[0];
 
   // Find the scene with minimum true delta.
   std::size_t critical_scene = 0;
@@ -93,8 +94,8 @@ TEST(Integration, Example2PerceptionRangeFaultDelaysDetection) {
   // golden (hazard) while the golden run stays safe.
   const auto scenario = sim::example2_tesla_reveal();
   std::vector<sim::Scenario> scenarios{scenario};
-  CampaignRunner runner(scenarios, pipeline_config());
-  const auto& golden = runner.goldens()[0];
+  Experiment experiment(scenarios, pipeline_config());
+  const auto& golden = experiment.goldens()[0];
   EXPECT_FALSE(golden.scenes.back().collided);
 
   sim::World world(scenario.world);
@@ -118,8 +119,8 @@ TEST(Integration, BayesianSelectionFindsValidatedHazards) {
   // contain at least one fault that manifests as a real hazard.
   std::vector<sim::Scenario> scenarios = {sim::example1_lead_lane_change(),
                                           sim::base_suite()[2]};
-  CampaignRunner runner(scenarios, pipeline_config());
-  const auto& goldens = runner.goldens();
+  Experiment experiment(scenarios, pipeline_config());
+  const auto& goldens = experiment.goldens();
 
   SafetyPredictor predictor(goldens);
   BayesianFaultSelector selector(predictor);
@@ -132,7 +133,7 @@ TEST(Integration, BayesianSelectionFindsValidatedHazards) {
       std::min<std::size_t>(20, selection.critical.size());
   std::vector<SelectedFault> top(selection.critical.begin(),
                                  selection.critical.begin() + replay_count);
-  const CampaignStats stats = runner.run_selected_faults(top);
+  const CampaignStats stats = experiment.run(SelectedFaultModel(top));
   EXPECT_GT(stats.hazard, 0u)
       << "at least one Bayesian-selected fault must manifest";
 }
@@ -142,8 +143,8 @@ TEST(Integration, RandomFaultsRarelyHazardous) {
   // hazards. With a small budget we require a low hazard rate.
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[0],
                                           sim::base_suite()[1]};
-  CampaignRunner runner(scenarios, pipeline_config());
-  const CampaignStats bits = runner.run_random_bitflip_campaign(20, 5);
+  Experiment experiment(scenarios, pipeline_config());
+  const CampaignStats bits = experiment.run(BitFlipModel(20, 5));
   EXPECT_LE(bits.hazard, 2u);
 }
 

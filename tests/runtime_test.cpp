@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,24 @@ TEST(Scheduler, DeterministicReplay) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(Scheduler, RejectsRatesThatDoNotDivideBase) {
+  Scheduler sched(120.0);
+  // 70 Hz on a 120 Hz base would silently round to the 60 Hz divisor and
+  // skew campaign timing; it must be rejected instead.
+  EXPECT_THROW(sched.add_module("bad", 70.0, [](double) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sched.add_module("zero", 0.0, [](double) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sched.add_module("negative", -30.0, [](double) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sched.add_module("too_fast", 240.0, [](double) {}),
+               std::invalid_argument);
+  // Non-integer rates that DO divide the base exactly stay legal (the
+  // scene recorder runs at 7.5 Hz on the 120 Hz base).
+  EXPECT_NO_THROW(sched.add_module("scene", 7.5, [](double) {}));
+  EXPECT_NO_THROW(sched.add_module("base", 120.0, [](double) {}));
 }
 
 TEST(Scheduler, NowAdvancesByDt) {
