@@ -1,0 +1,106 @@
+// Scenario-subsystem throughput: scenarios/sec for procedural generation
+// (uniform and coverage-guided), DSL serialization, and DSL parsing, over
+// a sampled corpus. Emits a BENCH_scenario_gen.json summary so later perf
+// PRs have a trajectory to beat.
+//
+//   ./bench_scenario_gen [count] [out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/coverage.h"
+#include "scenario/dsl.h"
+#include "scenario/generators.h"
+#include "util/table.h"
+
+using namespace drivefi;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long long requested = argc > 1 ? std::atoll(argv[1]) : 20000;
+  if (requested <= 0) {
+    std::fprintf(stderr, "usage: %s [count > 0] [out.json]\n", argv[0]);
+    return 2;
+  }
+  const auto count = static_cast<std::size_t>(requested);
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_scenario_gen.json";
+
+  const scenario::ScenarioSampler sampler(1234);
+
+  auto start = std::chrono::steady_clock::now();
+  const std::vector<sim::Scenario> suite = sampler.sample_suite(count);
+  const double gen_s = seconds_since(start);
+
+  scenario::ScenarioCoverage coverage;
+  start = std::chrono::steady_clock::now();
+  const std::vector<sim::Scenario> guided =
+      sampler.sample_covering(count, coverage);
+  const double guided_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const std::string text = scenario::serialize_suite(suite);
+  const double ser_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const std::vector<sim::Scenario> parsed = scenario::parse_suite(text);
+  const double parse_s = seconds_since(start);
+
+  if (parsed != suite) {
+    std::fprintf(stderr, "FATAL: corpus did not round-trip through the DSL\n");
+    return 1;
+  }
+
+  const auto rate = [count](double s) {
+    return s > 0.0 ? static_cast<double>(count) / s : 0.0;
+  };
+  util::Table table({"stage", "wall (s)", "scenarios/s"});
+  table.add_row({"generate (uniform)", util::Table::fmt(gen_s, 3),
+                 util::Table::fmt(rate(gen_s), 0)});
+  table.add_row({"generate (coverage-guided)", util::Table::fmt(guided_s, 3),
+                 util::Table::fmt(rate(guided_s), 0)});
+  table.add_row({"serialize", util::Table::fmt(ser_s, 3),
+                 util::Table::fmt(rate(ser_s), 0)});
+  table.add_row({"parse", util::Table::fmt(parse_s, 3),
+                 util::Table::fmt(rate(parse_s), 0)});
+  table.print("scenario generation + DSL throughput (" +
+              std::to_string(count) + " scenarios)");
+  std::printf("corpus: %zu bytes of .scn text; coverage %zu/%zu cells after "
+              "guided pass\n",
+              text.size(), coverage.occupied_cells(), coverage.total_cells());
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"scenario_gen\",\n  \"count\": " << count
+      << ",\n  \"scn_bytes\": " << text.size()
+      << ",\n  \"coverage_cells_occupied\": " << coverage.occupied_cells()
+      << ",\n  \"coverage_cells_total\": " << coverage.total_cells()
+      << ",\n  \"rows\": [\n"
+      << "    {\"stage\": \"generate_uniform\", \"wall_seconds\": " << gen_s
+      << ", \"scenarios_per_second\": " << rate(gen_s) << "},\n"
+      << "    {\"stage\": \"generate_covering\", \"wall_seconds\": "
+      << guided_s << ", \"scenarios_per_second\": " << rate(guided_s)
+      << "},\n"
+      << "    {\"stage\": \"serialize\", \"wall_seconds\": " << ser_s
+      << ", \"scenarios_per_second\": " << rate(ser_s) << "},\n"
+      << "    {\"stage\": \"parse\", \"wall_seconds\": " << parse_s
+      << ", \"scenarios_per_second\": " << rate(parse_s) << "}\n  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/result_sink.h"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace drivefi::core {
@@ -18,9 +19,13 @@ std::string csv_quote(const std::string& field) {
   return out;
 }
 
+// RFC 8259 string escaping: quote, backslash, and EVERY control character
+// below 0x20 (named shorthands where they exist, \u00XX otherwise), so a
+// pathological description can never break a record's framing.
 std::string json_escape(const std::string& field) {
   std::string out;
   for (char c : field) {
+    const auto u = static_cast<unsigned char>(c);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -28,11 +33,29 @@ std::string json_escape(const std::string& field) {
       case '\\':
         out += "\\\\";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
       default:
-        out += c;
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;

@@ -45,6 +45,8 @@ struct VehicleParams {
   double max_lateral_accel = 6.0;  // m/s^2 (~0.6 g)
   double length = 4.8;             // m, body length
   double width = 1.9;              // m, body width
+
+  bool operator==(const VehicleParams&) const = default;
 };
 
 // Longitudinal acceleration produced by an actuation command, including

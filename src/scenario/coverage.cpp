@@ -1,0 +1,127 @@
+#include "scenario/coverage.h"
+
+#include <sstream>
+
+namespace drivefi::scenario {
+
+namespace {
+
+template <std::size_t N>
+std::size_t band_of(double v, const double (&edges)[N]) {
+  for (std::size_t i = 0; i < N; ++i)
+    if (v < edges[i]) return i;
+  return N;
+}
+
+template <std::size_t N>
+std::string band_label(std::size_t band, const double (&edges)[N]) {
+  std::ostringstream out;
+  if (band == 0)
+    out << "< " << edges[0];
+  else if (band == N)
+    out << ">= " << edges[N - 1];
+  else
+    out << "[" << edges[band - 1] << ", " << edges[band] << ")";
+  return out.str();
+}
+
+}  // namespace
+
+ScenarioFeatures scenario_features(const sim::Scenario& scenario) {
+  ScenarioFeatures f;
+  f.ego_speed = scenario.world.ego_speed;
+  const sim::TvConfig* lead = nullptr;
+  for (const auto& tv : scenario.world.vehicles) {
+    if (tv.initial_lane != scenario.world.ego_lane || tv.initial_gap <= 0.0)
+      continue;
+    if (!lead || tv.initial_gap < lead->initial_gap) lead = &tv;
+  }
+  if (!lead) return f;
+  f.lead_gap = lead->initial_gap;
+  f.closing_speed = f.ego_speed - lead->initial_speed;
+  if (f.closing_speed > 0.1) f.ttc = f.lead_gap / f.closing_speed;
+  return f;
+}
+
+ScenarioCoverage::ScenarioCoverage()
+    : counts_(kSpeedBands * kGapBands * kClosingBands * kTtcBands, 0) {}
+
+std::size_t ScenarioCoverage::cell_of(const ScenarioFeatures& f) const {
+  const std::size_t speed = band_of(f.ego_speed, kSpeedEdges);
+  // Band 0 of the gap dimension is "no lead"; a leadless scenario pins the
+  // closing/TTC dimensions to their canonical bands (closing = 0, TTC huge)
+  // so each ego-speed band has exactly one reachable no-lead cell.
+  const bool has_lead = f.lead_gap >= 0.0;
+  const std::size_t gap = has_lead ? 1 + band_of(f.lead_gap, kGapEdges) : 0;
+  const std::size_t closing =
+      band_of(has_lead ? f.closing_speed : 0.0, kClosingEdges);
+  const std::size_t ttc = band_of(has_lead ? f.ttc : 1e9, kTtcEdges);
+  return ((speed * kGapBands + gap) * kClosingBands + closing) * kTtcBands +
+         ttc;
+}
+
+std::size_t ScenarioCoverage::add(const sim::Scenario& scenario) {
+  const std::size_t cell = cell_of(scenario_features(scenario));
+  ++counts_[cell];
+  ++added_;
+  return cell;
+}
+
+std::size_t ScenarioCoverage::occupied_cells() const {
+  std::size_t occupied = 0;
+  for (const auto count : counts_)
+    if (count > 0) ++occupied;
+  return occupied;
+}
+
+double ScenarioCoverage::fraction_covered() const {
+  return static_cast<double>(occupied_cells()) /
+         static_cast<double>(total_cells());
+}
+
+util::Table ScenarioCoverage::to_table() const {
+  util::Table table({"feature", "band", "scenarios"});
+  // Marginal counts: sum the 4-D grid down to each feature dimension.
+  std::vector<std::size_t> speed(kSpeedBands, 0), gap(kGapBands, 0),
+      closing(kClosingBands, 0), ttc(kTtcBands, 0);
+  for (std::size_t cell = 0; cell < counts_.size(); ++cell) {
+    const std::uint32_t n = counts_[cell];
+    if (n == 0) continue;
+    std::size_t rest = cell;
+    const std::size_t t = rest % kTtcBands;
+    rest /= kTtcBands;
+    const std::size_t c = rest % kClosingBands;
+    rest /= kClosingBands;
+    const std::size_t g = rest % kGapBands;
+    rest /= kGapBands;
+    speed[rest] += n;
+    gap[g] += n;
+    closing[c] += n;
+    ttc[t] += n;
+  }
+  for (std::size_t i = 0; i < kSpeedBands; ++i)
+    table.add_row({"ego_speed (m/s)", band_label(i, kSpeedEdges),
+                   util::Table::fmt_int(static_cast<long long>(speed[i]))});
+  for (std::size_t i = 0; i < kGapBands; ++i)
+    table.add_row({"lead_gap (m)",
+                   i == 0 ? "no lead" : band_label(i - 1, kGapEdges),
+                   util::Table::fmt_int(static_cast<long long>(gap[i]))});
+  for (std::size_t i = 0; i < kClosingBands; ++i)
+    table.add_row({"closing_speed (m/s)", band_label(i, kClosingEdges),
+                   util::Table::fmt_int(static_cast<long long>(closing[i]))});
+  for (std::size_t i = 0; i < kTtcBands; ++i)
+    table.add_row({"ttc (s)", band_label(i, kTtcEdges),
+                   util::Table::fmt_int(static_cast<long long>(ttc[i]))});
+  return table;
+}
+
+std::string ScenarioCoverage::jsonl_record() const {
+  std::ostringstream out;
+  out << "{\"type\":\"scenario_coverage\",\"scenarios\":" << added_
+      << ",\"cells_total\":" << total_cells()
+      << ",\"cells_occupied\":" << occupied_cells()
+      << ",\"fraction_covered\":" << fraction_covered() << "}";
+  return out.str();
+}
+
+}  // namespace drivefi::scenario

@@ -1,0 +1,70 @@
+// Scenario-space coverage: a fixed grid over kinematic features of a
+// scenario's initial configuration (ego speed, lead gap, closing speed,
+// time-to-collision band). Campaigns are only as strong as the diversity of
+// the scenario corpus they run against; this grid makes that diversity
+// measurable (which cells of the kinematic envelope does a suite exercise?)
+// and drives the coverage-guided sampler in scenario/generators.h, which
+// preferentially fills empty cells.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "util/table.h"
+
+namespace drivefi::scenario {
+
+// Kinematic features of a scenario's initial configuration, derived purely
+// from the config (no simulation): the nearest scripted vehicle ahead of the
+// ego in its lane is the "lead".
+struct ScenarioFeatures {
+  double ego_speed = 0.0;
+  double lead_gap = -1.0;       // m; < 0 when no lead in the ego lane
+  double closing_speed = 0.0;   // m/s; ego faster than lead => positive
+  double ttc = 1e9;             // s; huge when not closing or no lead
+};
+
+ScenarioFeatures scenario_features(const sim::Scenario& scenario);
+
+class ScenarioCoverage {
+ public:
+  // Band edges (upper bounds; the last band is open-ended). Lead gap has an
+  // extra leading "none" band for scenarios with an empty ego lane.
+  static constexpr double kSpeedEdges[] = {10.0, 20.0, 27.0, 33.0};
+  static constexpr double kGapEdges[] = {15.0, 40.0, 100.0};
+  static constexpr double kClosingEdges[] = {-2.0, 2.0, 8.0};
+  static constexpr double kTtcEdges[] = {3.0, 8.0, 20.0};
+
+  static constexpr std::size_t kSpeedBands = 5;    // 4 edges + open
+  static constexpr std::size_t kGapBands = 5;      // none + 3 edges + open
+  static constexpr std::size_t kClosingBands = 4;
+  static constexpr std::size_t kTtcBands = 4;
+
+  ScenarioCoverage();
+
+  std::size_t cell_of(const ScenarioFeatures& features) const;
+
+  // Records the scenario and returns the cell it landed in.
+  std::size_t add(const sim::Scenario& scenario);
+
+  std::size_t total_cells() const { return counts_.size(); }
+  std::size_t occupied_cells() const;
+  double fraction_covered() const;
+  std::size_t scenarios_added() const { return added_; }
+  std::uint32_t count_in(std::size_t cell) const { return counts_[cell]; }
+
+  // Marginal occupancy per feature band, for human-readable reports.
+  util::Table to_table() const;
+
+  // One JSONL record summarizing grid occupancy, shaped like the campaign
+  // sink records ({"type":"scenario_coverage",...}).
+  std::string jsonl_record() const;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::size_t added_ = 0;
+};
+
+}  // namespace drivefi::scenario

@@ -1,0 +1,255 @@
+#include "scenario/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drivefi::scenario {
+
+namespace {
+
+// Rounds a drawn parameter to a fixed grid so serialized scenarios stay
+// human-readable (and diffable) without sacrificing diversity: 0.1 m / 0.1
+// m/s resolution is far finer than the coverage bands.
+double snap(double v) { return std::round(v * 10.0) / 10.0; }
+
+sim::TvConfig scripted_tv(const std::string& name, double gap, int lane,
+                          double speed) {
+  sim::TvConfig tv;
+  tv.name = name;
+  tv.initial_gap = snap(gap);
+  tv.initial_lane = lane;
+  tv.initial_speed = snap(speed);
+  tv.phases.push_back({0.0, tv.initial_speed, 2.0, std::nullopt, 3.0});
+  return tv;
+}
+
+// Adjacent lane on whichever side exists; prefers the left.
+int adjacent_lane(int lane, int lanes, util::Rng& rng) {
+  const bool left_ok = lane + 1 < lanes;
+  const bool right_ok = lane - 1 >= 0;
+  if (left_ok && right_ok) return rng.bernoulli(0.5) ? lane + 1 : lane - 1;
+  return left_ok ? lane + 1 : lane - 1;
+}
+
+sim::Scenario blank(const std::string& name, const std::string& description,
+                    util::Rng& rng, int lanes, double ego_speed) {
+  sim::Scenario s;
+  s.name = name;
+  s.description = description;
+  s.duration = snap(rng.uniform(25.0, 45.0));
+  s.world.road.lanes = lanes;
+  s.world.ego_lane = rng.uniform_int(0, lanes - 1);
+  s.world.ego_speed = snap(ego_speed);
+  return s;
+}
+
+}  // namespace
+
+sim::Scenario gen_lead_brake(util::Rng& rng) {
+  const int lanes = rng.uniform_int(2, 3);
+  const double ego_speed = rng.uniform(8.0, 38.0);
+  sim::Scenario s = blank("lead_brake",
+                          "Procedural: lead vehicle brakes mid-scenario.",
+                          rng, lanes, ego_speed);
+  const double gap = rng.uniform(8.0, 140.0);
+  const double lead_speed =
+      std::max(0.0, ego_speed + rng.uniform(-14.0, 3.0));
+  sim::TvConfig lead = scripted_tv("lead", gap, s.world.ego_lane, lead_speed);
+  const double brake_time = snap(rng.uniform(4.0, 15.0));
+  const double brake_to = snap(rng.uniform(0.0, 0.6) * lead_speed);
+  lead.phases.push_back(
+      {brake_time, brake_to, snap(rng.uniform(3.0, 8.0)), std::nullopt, 3.0});
+  if (rng.bernoulli(0.5)) {
+    // Recovery ramp back toward cruise.
+    lead.phases.push_back({snap(brake_time + rng.uniform(6.0, 12.0)),
+                           snap(lead_speed * rng.uniform(0.7, 1.0)),
+                           snap(rng.uniform(1.5, 3.0)), std::nullopt, 3.0});
+  }
+  s.world.vehicles.push_back(std::move(lead));
+  return s;
+}
+
+sim::Scenario gen_cut_in(util::Rng& rng) {
+  const int lanes = rng.uniform_int(2, 4);
+  const double ego_speed = rng.uniform(12.0, 38.0);
+  sim::Scenario s = blank("cut_in",
+                          "Procedural: adjacent vehicle cuts into the ego "
+                          "lane at a small gap.",
+                          rng, lanes, ego_speed);
+  const int from_lane = adjacent_lane(s.world.ego_lane, lanes, rng);
+  sim::TvConfig cutter =
+      scripted_tv("cutter", rng.uniform(4.0, 30.0), from_lane,
+                  std::max(0.0, ego_speed + rng.uniform(-5.0, 3.0)));
+  const double cut_time = snap(rng.uniform(3.0, 12.0));
+  const double after_speed =
+      std::max(0.0, snap(ego_speed + rng.uniform(-10.0, 0.0)));
+  cutter.phases.push_back({cut_time, after_speed, snap(rng.uniform(1.5, 3.5)),
+                           s.world.ego_lane, snap(rng.uniform(2.0, 4.5))});
+  s.world.vehicles.push_back(std::move(cutter));
+  if (rng.bernoulli(0.6)) {
+    // Traffic ahead in lane blocks the escape-forward option.
+    s.world.vehicles.push_back(
+        scripted_tv("far_lead", rng.uniform(80.0, 160.0), s.world.ego_lane,
+                    std::max(0.0, ego_speed + rng.uniform(-6.0, 1.0))));
+  }
+  return s;
+}
+
+sim::Scenario gen_merge_gap(util::Rng& rng) {
+  const int lanes = rng.uniform_int(2, 4);
+  const double ego_speed = rng.uniform(10.0, 36.0);
+  sim::Scenario s = blank("merge_gap",
+                          "Procedural: vehicle merges into the gap between "
+                          "the ego and its lead.",
+                          rng, lanes, ego_speed);
+  const double lead_gap = rng.uniform(25.0, 110.0);
+  s.world.vehicles.push_back(
+      scripted_tv("lead", lead_gap, s.world.ego_lane,
+                  std::max(0.0, ego_speed + rng.uniform(-8.0, 2.0))));
+  const int from_lane = adjacent_lane(s.world.ego_lane, lanes, rng);
+  sim::TvConfig merger =
+      scripted_tv("merger", rng.uniform(6.0, std::max(8.0, lead_gap - 8.0)),
+                  from_lane,
+                  std::max(0.0, ego_speed + rng.uniform(-4.0, 4.0)));
+  merger.phases.push_back({snap(rng.uniform(5.0, 14.0)),
+                           merger.initial_speed, 2.0, s.world.ego_lane,
+                           snap(rng.uniform(2.5, 4.0))});
+  s.world.vehicles.push_back(std::move(merger));
+  return s;
+}
+
+sim::Scenario gen_stop_and_go(util::Rng& rng) {
+  const int lanes = rng.uniform_int(2, 3);
+  const double ego_speed = rng.uniform(8.0, 30.0);
+  sim::Scenario s = blank("stop_and_go",
+                          "Procedural: lead oscillates between crawling and "
+                          "cruising (congestion wave).",
+                          rng, lanes, ego_speed);
+  const double cruise = std::max(2.0, ego_speed + rng.uniform(-3.0, 2.0));
+  sim::TvConfig lead =
+      scripted_tv("lead", rng.uniform(12.0, 60.0), s.world.ego_lane, cruise);
+  double t = 0.0;
+  const int cycles = rng.uniform_int(2, 4);
+  for (int i = 0; i < cycles; ++i) {
+    t += rng.uniform(5.0, 10.0);
+    lead.phases.push_back({snap(t), snap(cruise * rng.uniform(0.0, 0.4)),
+                           snap(rng.uniform(2.5, 5.0)), std::nullopt, 3.0});
+    t += rng.uniform(5.0, 9.0);
+    lead.phases.push_back({snap(t), snap(cruise * rng.uniform(0.8, 1.1)),
+                           snap(rng.uniform(1.5, 3.0)), std::nullopt, 3.0});
+  }
+  s.world.vehicles.push_back(std::move(lead));
+  return s;
+}
+
+sim::Scenario gen_multi_lane_weave(util::Rng& rng) {
+  const int lanes = rng.uniform_int(3, 4);
+  const double ego_speed = rng.uniform(15.0, 35.0);
+  sim::Scenario s = blank("multi_lane_weave",
+                          "Procedural: dense multi-lane traffic weaving "
+                          "across lanes; some vehicles follow reactively "
+                          "(IDM).",
+                          rng, lanes, ego_speed);
+  const int tv_count = rng.uniform_int(3, 6);
+  for (int i = 0; i < tv_count; ++i) {
+    const int lane = rng.uniform_int(0, lanes - 1);
+    double gap = rng.uniform(-40.0, 160.0);
+    // Keep spawns in the ego lane clear of the ego's own footprint.
+    if (lane == s.world.ego_lane && std::abs(gap) < 14.0)
+      gap = gap < 0.0 ? gap - 14.0 : gap + 14.0;
+    std::string tv_name = "w";
+    tv_name += std::to_string(i);
+    sim::TvConfig tv =
+        scripted_tv(tv_name, gap, lane,
+                    std::max(0.0, ego_speed + rng.uniform(-8.0, 5.0)));
+    if (rng.bernoulli(0.4)) {
+      // Reactive car-following; phases below still drive lane changes.
+      tv.phases.clear();
+      sim::IdmConfig idm;
+      idm.desired_speed = snap(ego_speed * rng.uniform(0.8, 1.2));
+      idm.time_headway = snap(rng.uniform(1.0, 2.2));
+      idm.max_accel = snap(rng.uniform(1.2, 2.5));
+      idm.comfort_decel = snap(rng.uniform(1.8, 3.5));
+      tv.idm = idm;
+    }
+    const int weaves = rng.uniform_int(1, 2);
+    double t = 0.0;
+    int current_lane = lane;
+    for (int w = 0; w < weaves; ++w) {
+      t += rng.uniform(4.0, 14.0);
+      const int to = std::clamp(
+          current_lane + (rng.bernoulli(0.5) ? 1 : -1), 0, lanes - 1);
+      if (to == current_lane) continue;
+      tv.phases.push_back({snap(t), tv.initial_speed,
+                           snap(rng.uniform(1.5, 2.5)), to,
+                           snap(rng.uniform(2.5, 4.5))});
+      current_lane = to;
+    }
+    s.world.vehicles.push_back(std::move(tv));
+  }
+  return s;
+}
+
+const std::vector<Generator>& generators() {
+  static const std::vector<Generator> kGenerators = {
+      {"lead_brake", gen_lead_brake},
+      {"cut_in", gen_cut_in},
+      {"merge_gap", gen_merge_gap},
+      {"stop_and_go", gen_stop_and_go},
+      {"multi_lane_weave", gen_multi_lane_weave},
+  };
+  return kGenerators;
+}
+
+sim::Scenario ScenarioSampler::candidate(std::uint64_t stream_index,
+                                         const std::string& name_suffix) const {
+  util::Rng rng(util::derive_run_seed(seed_, stream_index));
+  const auto& gens = generators();
+  const auto& gen = gens[rng.uniform_index(gens.size())];
+  sim::Scenario s = gen.make(rng);
+  s.name += name_suffix;
+  return s;
+}
+
+sim::Scenario ScenarioSampler::sample(std::uint64_t index) const {
+  return candidate(index, "_s" + std::to_string(index));
+}
+
+std::vector<sim::Scenario> ScenarioSampler::sample_suite(
+    std::size_t count) const {
+  std::vector<sim::Scenario> suite;
+  suite.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) suite.push_back(sample(i));
+  return suite;
+}
+
+std::vector<sim::Scenario> ScenarioSampler::sample_covering(
+    std::size_t count, ScenarioCoverage& coverage) const {
+  // Candidate c of slot i draws from a stream disjoint from sample()'s
+  // (high bit set) so the two modes never alias each other's scenarios.
+  constexpr std::uint64_t kCoverStream = 1ULL << 63;
+  const std::size_t cands = std::max<std::size_t>(1, options_.candidates_per_draw);
+  std::vector<sim::Scenario> suite;
+  suite.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::Scenario best;
+    std::uint32_t best_count = 0;
+    for (std::size_t c = 0; c < cands; ++c) {
+      sim::Scenario candidate_scn = candidate(
+          kCoverStream | (static_cast<std::uint64_t>(i) * cands + c),
+          "_c" + std::to_string(i));
+      const std::uint32_t in_cell =
+          coverage.count_in(coverage.cell_of(scenario_features(candidate_scn)));
+      if (c == 0 || in_cell < best_count) {
+        best = std::move(candidate_scn);
+        best_count = in_cell;
+      }
+      if (best_count == 0) break;  // can't beat an empty cell
+    }
+    coverage.add(best);
+    suite.push_back(std::move(best));
+  }
+  return suite;
+}
+
+}  // namespace drivefi::scenario

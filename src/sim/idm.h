@@ -18,6 +18,8 @@ struct IdmConfig {
   double comfort_decel = 2.5;    // b, m/s^2
   double exponent = 4.0;         // delta, free-road exponent
   double hard_decel_cap = 9.0;   // physical braking limit, m/s^2
+
+  bool operator==(const IdmConfig&) const = default;
 };
 
 // IDM acceleration for a follower at speed v with bumper-to-bumper gap

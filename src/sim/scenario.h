@@ -16,6 +16,8 @@ struct Scenario {
   std::string description;
   WorldConfig world;
   double duration = 40.0;  // s
+
+  bool operator==(const Scenario&) const = default;
 };
 
 // The two case studies from the paper (Fig. 4).

@@ -24,6 +24,8 @@ struct RoadConfig {
   double lane_center(int lane) const { return lane * lane_width; }
   double left_edge() const { return (lanes - 0.5) * lane_width; }
   double right_edge() const { return -0.5 * lane_width; }
+
+  bool operator==(const RoadConfig&) const = default;
 };
 
 // One phase of a target vehicle's script. The TV holds the latest phase
@@ -35,6 +37,8 @@ struct TvPhase {
   double accel = 2.0;  // magnitude, m/s^2
   std::optional<int> target_lane;
   double lane_change_duration = 3.0;
+
+  bool operator==(const TvPhase&) const = default;
 };
 
 struct TvConfig {
@@ -49,6 +53,8 @@ struct TvConfig {
   // the nearest same-lane leader (another TV or the ego) instead of the
   // scripted phase speed ramp; phases still drive lane changes.
   std::optional<IdmConfig> idm;
+
+  bool operator==(const TvConfig&) const = default;
 };
 
 struct TargetVehicle {
@@ -76,6 +82,8 @@ struct WorldConfig {
   double ego_speed = 30.0;
   kinematics::VehicleParams ego_params;
   std::vector<TvConfig> vehicles;
+
+  bool operator==(const WorldConfig&) const = default;
 };
 
 // Outcome flags evaluated every step.

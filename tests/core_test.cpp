@@ -6,7 +6,6 @@
 #include <sstream>
 
 #include "core/bayes_model.h"
-#include "core/campaign.h"
 #include "core/experiment.h"
 #include "core/fault_catalog.h"
 #include "core/fault_model.h"
@@ -429,6 +428,38 @@ TEST(Campaign, SinksSeeEveryRecordInOrder) {
   EXPECT_NE(jsonl.str().find("\"type\":\"summary\""), std::string::npos);
 }
 
+TEST(Campaign, JsonlSinkEscapesAllControlCharacters) {
+  // A pathological description -- embedded quotes, backslashes, newlines,
+  // and raw control bytes -- must stay one well-formed JSONL record.
+  InjectionRecord record;
+  record.run_index = 3;
+  record.description =
+      std::string("quote\" backslash\\ bell\x07 tab\t cr\r lf\n esc\x1b nul") +
+      '\0' + " unit\x1f done";
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.consume(record);
+
+  const std::string jsonl = out.str();
+  // Exactly one line: the trailing newline of the record itself.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'),
+            static_cast<std::ptrdiff_t>(1));
+  EXPECT_NE(jsonl.find("quote\\\""), std::string::npos);
+  EXPECT_NE(jsonl.find("backslash\\\\"), std::string::npos);
+  EXPECT_NE(jsonl.find("bell\\u0007"), std::string::npos);
+  EXPECT_NE(jsonl.find("tab\\t"), std::string::npos);
+  EXPECT_NE(jsonl.find("cr\\r"), std::string::npos);
+  EXPECT_NE(jsonl.find("lf\\n"), std::string::npos);
+  EXPECT_NE(jsonl.find("esc\\u001b"), std::string::npos);
+  EXPECT_NE(jsonl.find("nul\\u0000"), std::string::npos);
+  EXPECT_NE(jsonl.find("unit\\u001f"), std::string::npos);
+  // No raw control byte survives anywhere in the record.
+  const bool raw_control_free = std::all_of(
+      jsonl.begin(), jsonl.end(),
+      [](char c) { return c == '\n' || static_cast<unsigned char>(c) >= 0x20; });
+  EXPECT_TRUE(raw_control_free);
+}
+
 TEST(Campaign, MeanRunWallSecondsPositive) {
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[0]};
   Experiment experiment(scenarios, test_pipeline_config());
@@ -439,16 +470,16 @@ TEST(Campaign, TargetedHoldOutlastsTransientHold) {
   // Random faults are transient (one control period); targeted replays
   // hold for the predictor's horizon. The asymmetry is the paper's: the
   // recompute rate masks transients, the Bayesian injector holds.
-  // (Exercised through the deprecated CampaignRunner shim, which must
-  // keep the old semantics for one release.)
   std::vector<sim::Scenario> scenarios = {sim::base_suite()[0]};
-  CampaignRunner runner(scenarios, test_pipeline_config());
-  EXPECT_NEAR(runner.transient_hold_seconds(), 1.0 / 30.0, 1e-12);
-  EXPECT_NEAR(runner.targeted_hold_seconds(), 2.0 / 7.5, 1e-12);
-  EXPECT_GT(runner.targeted_hold_seconds(),
-            runner.transient_hold_seconds() * 3.0);
-  runner.set_hold_scenes(3.0);
-  EXPECT_NEAR(runner.targeted_hold_seconds(), 3.0 / 7.5, 1e-12);
+  const Experiment experiment(scenarios, test_pipeline_config());
+  EXPECT_NEAR(experiment.transient_hold_seconds(), 1.0 / 30.0, 1e-12);
+  EXPECT_NEAR(experiment.targeted_hold_seconds(), 2.0 / 7.5, 1e-12);
+  EXPECT_GT(experiment.targeted_hold_seconds(),
+            experiment.transient_hold_seconds() * 3.0);
+  ExperimentOptions options;
+  options.hold_scenes = 3.0;
+  const Experiment longer(scenarios, test_pipeline_config(), {}, options);
+  EXPECT_NEAR(longer.targeted_hold_seconds(), 3.0 / 7.5, 1e-12);
 }
 
 // ---------- Scene library (situation mining) ----------

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "sim/collision.h"
 #include "sim/scenario.h"
@@ -206,6 +208,53 @@ TEST(Scenario, ParametricSuiteReachesTargetScenes) {
   std::size_t total = 0;
   for (const auto& s : suite) total += scene_count(s, 7.5);
   EXPECT_GE(total, target);
+}
+
+TEST(Scenario, SceneCountFloorsDurationTimesRate) {
+  Scenario s;
+  s.duration = 40.0;
+  EXPECT_EQ(scene_count(s, 7.5), 300u);
+  s.duration = 40.1;  // 300.75 frames -> floors to 300
+  EXPECT_EQ(scene_count(s, 7.5), 300u);
+  s.duration = 0.05;  // shorter than one frame period
+  EXPECT_EQ(scene_count(s, 7.5), 0u);
+}
+
+TEST(Scenario, ParametricSuiteSceneAccountingIsExactAt7200) {
+  // The paper's corpus size: the suite must reach the target, overshoot by
+  // less than one scenario, and every listed scenario must contribute (no
+  // padding after the target is met).
+  const std::size_t target = 7200;
+  const auto suite = parametric_suite(target, 7.5);
+  std::size_t total = 0;
+  std::size_t largest = 0;
+  for (const auto& s : suite) {
+    const std::size_t scenes = scene_count(s, 7.5);
+    total += scenes;
+    largest = std::max(largest, scenes);
+  }
+  EXPECT_GE(total, target);
+  EXPECT_LT(total - scene_count(suite.back(), 7.5), target);
+  EXPECT_LT(total, target + largest);
+}
+
+TEST(Scenario, ParametricSuiteIsDeterministicAcrossCalls) {
+  EXPECT_EQ(parametric_suite(7200, 7.5), parametric_suite(7200, 7.5));
+  // Variant names are unique across expansion rounds.
+  const auto suite = parametric_suite(7200, 7.5);
+  std::set<std::string> names;
+  for (const auto& s : suite)
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+}
+
+TEST(Scenario, ParametricSuiteHandlesTinyTargets) {
+  EXPECT_TRUE(parametric_suite(0, 7.5).empty());
+  // Target 1 scene: exactly one scenario (the first base scenario, which
+  // alone contributes >= 1 scene).
+  const auto one = parametric_suite(1, 7.5);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_GE(scene_count(one[0], 7.5), 1u);
+  EXPECT_EQ(one[0].name, base_suite()[0].name + "_v0");
 }
 
 TEST(Scenario, Example1HasLaneChangingLead) {
