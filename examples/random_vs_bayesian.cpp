@@ -25,7 +25,6 @@ int main(int argc, char** argv) {
   ads::PipelineConfig config;
   config.seed = 11;
   const core::Experiment experiment(suite, config);
-  const auto& goldens = experiment.goldens();
 
   // --- Random FI with `budget` injections ---
   std::printf("random value-corruption campaign (%zu injections)...\n",
@@ -34,20 +33,13 @@ int main(int argc, char** argv) {
       experiment.run(core::RandomValueModel(budget, 1234));
   core::outcome_table(random_stats).print("random FI outcomes");
 
-  // --- Bayesian FI replaying its top `budget` picks ---
+  // --- Bayesian FI replaying its top `budget` picks: the whole DriveFI
+  // loop (fit -> parallel select -> replay) is one fault model. ---
   std::printf("\nBayesian selection + replay (%zu replays)...\n", budget);
-  const core::SafetyPredictor predictor(goldens);
-  const core::BayesianFaultSelector selector(predictor);
-  const auto catalog =
-      core::build_catalog(suite, core::default_target_ranges(), 7.5);
-  const core::SelectionResult selection = selector.select(catalog, goldens);
-
-  std::vector<core::SelectedFault> top(
-      selection.critical.begin(),
-      selection.critical.begin() +
-          std::min(budget, selection.critical.size()));
-  const core::CampaignStats bayes_stats =
-      experiment.run(core::SelectedFaultModel(top));
+  core::BayesianCampaignConfig campaign;
+  campaign.max_replays = budget;
+  const core::BayesianFaultModel bayes_model(experiment, campaign);
+  const core::CampaignStats bayes_stats = experiment.run(bayes_model);
   core::outcome_table(bayes_stats).print("Bayesian FI outcomes");
 
   std::printf("\nhazards found -- random: %zu / %zu, Bayesian: %zu / %zu\n",

@@ -1,5 +1,6 @@
 #include "bn/serialize.h"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -10,12 +11,37 @@ namespace drivefi::bn {
 
 namespace {
 constexpr const char* kMagic = "drivefi-bn";
-constexpr int kVersion = 1;
+// Version 1: node records only. Version 2 adds the optional meta section.
+constexpr int kVersionPlain = 1;
+constexpr int kVersionMeta = 2;
 }  // namespace
 
-void save_network(const LinearGaussianNetwork& net, std::ostream& out) {
-  out << kMagic << ' ' << kVersion << '\n';
+void save_network(const LinearGaussianNetwork& net, std::ostream& out,
+                  const NetworkMeta& meta) {
+  // Validate the whole meta map BEFORE emitting any bytes: a half-written
+  // meta section would leave the file permanently unloadable. Every rule
+  // mirrors what load_network enforces.
+  for (const auto& [key, value] : meta) {
+    if (key.empty())
+      throw std::runtime_error("bn::save_network: empty meta key");
+    for (char c : key)
+      if (std::isspace(static_cast<unsigned char>(c)))
+        throw std::runtime_error(
+            "bn::save_network: meta key contains whitespace: " + key);
+    if (!std::isfinite(value))
+      throw std::runtime_error("bn::save_network: non-finite meta value for " +
+                               key);
+  }
+
+  // Empty meta keeps the historical version-1 byte stream.
+  out << kMagic << ' ' << (meta.empty() ? kVersionPlain : kVersionMeta)
+      << '\n';
   out << std::setprecision(17);
+  if (!meta.empty()) {
+    out << "meta " << meta.size();
+    for (const auto& [key, value] : meta) out << ' ' << key << ' ' << value;
+    out << '\n';
+  }
   for (NodeId i : net.dag().topological_order()) {
     const auto& cpd = net.cpd(i);
     out << "node " << net.name(i) << ' ' << cpd.bias << ' ' << cpd.variance
@@ -28,25 +54,47 @@ void save_network(const LinearGaussianNetwork& net, std::ostream& out) {
 }
 
 void save_network_file(const LinearGaussianNetwork& net,
-                       const std::string& path) {
+                       const std::string& path, const NetworkMeta& meta) {
   std::ofstream out(path);
   if (!out)
     throw std::runtime_error("bn::save_network_file: cannot open " + path);
-  save_network(net, out);
+  save_network(net, out, meta);
 }
 
-LinearGaussianNetwork load_network(std::istream& in) {
+LinearGaussianNetwork load_network(std::istream& in, NetworkMeta* meta) {
+  if (meta) meta->clear();
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != kMagic)
     throw std::runtime_error("bn::load_network: bad magic header");
-  if (version != kVersion)
+  if (version != kVersionPlain && version != kVersionMeta)
     throw std::runtime_error("bn::load_network: unsupported version " +
                              std::to_string(version));
 
   LinearGaussianNetwork net;
   std::string tag;
+  bool meta_seen = false;
   while (in >> tag) {
+    if (tag == "meta") {
+      if (version < kVersionMeta)
+        throw std::runtime_error(
+            "bn::load_network: meta section in a version-1 file");
+      if (meta_seen || net.node_count() > 0)
+        throw std::runtime_error(
+            "bn::load_network: meta must appear once, before any node");
+      meta_seen = true;
+      std::size_t count = 0;
+      if (!(in >> count))
+        throw std::runtime_error("bn::load_network: truncated meta header");
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string key;
+        double value = 0.0;
+        if (!(in >> key >> value) || !std::isfinite(value))
+          throw std::runtime_error("bn::load_network: malformed meta entry");
+        if (meta) (*meta)[key] = value;
+      }
+      continue;
+    }
     if (tag != "node")
       throw std::runtime_error("bn::load_network: expected 'node', got '" +
                                tag + "'");
@@ -86,11 +134,12 @@ LinearGaussianNetwork load_network(std::istream& in) {
   return net;
 }
 
-LinearGaussianNetwork load_network_file(const std::string& path) {
+LinearGaussianNetwork load_network_file(const std::string& path,
+                                        NetworkMeta* meta) {
   std::ifstream in(path);
   if (!in)
     throw std::runtime_error("bn::load_network_file: cannot open " + path);
-  return load_network(in);
+  return load_network(in, meta);
 }
 
 }  // namespace drivefi::bn

@@ -1,30 +1,48 @@
-// Text serialization for linear-Gaussian networks. A fitted 3-TBN is the
+// Text serialization for linear-Gaussian networks. A fitted k-TBN is the
 // product of hours of golden-trace collection; persisting it lets a
 // campaign be split across processes (fit once, select anywhere) and makes
 // fitted models diffable artifacts. Format is line-oriented and versioned:
 //
-//   drivefi-bn 1
+//   drivefi-bn 2
+//   meta <count> [<key> <value>]...
 //   node <name> <bias> <variance> <num_parents> [<parent_name> <weight>]...
 //
 // Nodes appear in topological order so each parent precedes its children.
+// The optional `meta` section (version 2) carries numeric key/value pairs
+// alongside the network -- e.g. the SafetyPredictorConfig a fitted DBN was
+// built with, so a campaign can reload the model without refitting (see
+// core::save_predictor/load_predictor). Keys must contain no whitespace.
+// Version-1 files (no meta line) still load; writers emit version 1 when
+// the meta map is empty, so plain-network output is unchanged.
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 
 #include "bn/network.h"
 
 namespace drivefi::bn {
 
-// Writes the network; throws std::runtime_error on stream failure.
-void save_network(const LinearGaussianNetwork& net, std::ostream& out);
+// Numeric sidecar metadata stored with a network (ordered so the output is
+// deterministic and diffable).
+using NetworkMeta = std::map<std::string, double>;
+
+// Writes the network; throws std::runtime_error on stream failure or on a
+// meta key containing whitespace. CPD numbers and meta values are written
+// at round-trip precision.
+void save_network(const LinearGaussianNetwork& net, std::ostream& out,
+                  const NetworkMeta& meta = {});
 void save_network_file(const LinearGaussianNetwork& net,
-                       const std::string& path);
+                       const std::string& path, const NetworkMeta& meta = {});
 
 // Reads a network previously written by save_network; throws
 // std::runtime_error on malformed input (bad magic, unknown parent,
-// truncation, or non-finite values).
-LinearGaussianNetwork load_network(std::istream& in);
-LinearGaussianNetwork load_network_file(const std::string& path);
+// truncation, or non-finite values). When `meta` is non-null it receives
+// the file's metadata (empty for version-1 files).
+LinearGaussianNetwork load_network(std::istream& in,
+                                   NetworkMeta* meta = nullptr);
+LinearGaussianNetwork load_network_file(const std::string& path,
+                                        NetworkMeta* meta = nullptr);
 
 }  // namespace drivefi::bn

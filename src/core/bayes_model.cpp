@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bn/serialize.h"
 #include "kinematics/stopping.h"
 
 namespace drivefi::core {
@@ -108,53 +109,141 @@ SafetyPredictor::SafetyPredictor(const std::vector<GoldenTrace>& traces,
     }
   }
   net_ = bn::fit_network(tmpl.unrolled_specs(config.slices), unrolled);
+  init_compiled();
 }
 
 SafetyPredictor::SafetyPredictor(bn::LinearGaussianNetwork net,
                                  const SafetyPredictorConfig& config)
-    : net_(std::move(net)), config_(config) {}
+    : net_(std::move(net)), config_(config) {
+  init_compiled();
+}
 
-std::optional<DeltaPrediction> SafetyPredictor::predict_impl(
+SafetyPredictor::SafetyPredictor(SafetyPredictor&& other) noexcept
+    : net_(std::move(other.net_)),
+      config_(other.config_),
+      compiled_(std::move(other.compiled_)),
+      nominal_plan_(other.nominal_plan_),
+      plans_(std::move(other.plans_)),
+      inference_count_(other.inference_count_.load()) {
+  // Plans point into *compiled_ (heap-allocated), so they survive the move.
+  other.nominal_plan_ = nullptr;
+}
+
+std::vector<std::string> SafetyPredictor::query_nodes() const {
+  const int query_slice = config_.slices - 1;
+  return {DbnTemplate::slice_name("true_v", query_slice),
+          DbnTemplate::slice_name("true_y_off", query_slice),
+          DbnTemplate::slice_name("true_theta", query_slice),
+          DbnTemplate::slice_name("steer", query_slice)};
+}
+
+void SafetyPredictor::init_compiled() {
+  if (!config_.use_compiled) return;
+  compiled_ = std::make_unique<bn::CompiledNetwork>(net_);
+
+  const auto& names = ads::scene_variable_names();
+  const int slices = config_.slices;
+  const std::vector<std::string> query = query_nodes();
+
+  // Nominal plan: full golden evidence through slice S-2.
+  std::vector<std::string> nominal_evidence;
+  for (int s = 0; s <= slices - 2; ++s)
+    for (const auto& n : names)
+      nominal_evidence.push_back(DbnTemplate::slice_name(n, s));
+  nominal_plan_ = &compiled_->prepare(nominal_evidence, query);
+
+  for (std::size_t vi = 0; vi < names.size(); ++vi) {
+    const std::string& var = names[vi];
+    VariablePlans vp;
+    vp.var_index = vi;
+
+    // Causal plan: do(var) in every hold slice; slice-0 evidence in full,
+    // slice-1 evidence only on nodes the intervention cannot reach (same
+    // reachability rule as the exact path -- anything downstream of the
+    // fault is inferred, not observed).
+    std::vector<std::string> causal_evidence;
+    for (const auto& n : names)
+      causal_evidence.push_back(DbnTemplate::slice_name(n, 0));
+    const bn::NodeId intervened_id = net_.id(DbnTemplate::slice_name(var, 1));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const std::string node = DbnTemplate::slice_name(names[i], 1);
+      const bn::NodeId nid = net_.id(node);
+      if (nid == intervened_id || net_.dag().reaches(intervened_id, nid))
+        continue;
+      causal_evidence.push_back(node);
+      vp.slice1_kept.push_back(i);
+    }
+    std::vector<std::string> interventions;
+    for (int s = 1; s <= slices - 2; ++s)
+      interventions.push_back(DbnTemplate::slice_name(var, s));
+    vp.causal = &compiled_->prepare_do(interventions, causal_evidence, query);
+
+    // Observational plan: the corrupted value is CONDITIONED on alongside
+    // the full golden evidence of every hold slice.
+    std::vector<std::string> obs_evidence;
+    for (const auto& n : names)
+      obs_evidence.push_back(DbnTemplate::slice_name(n, 0));
+    for (int s = 1; s <= slices - 2; ++s) {
+      for (const auto& n : names) {
+        if (n == var) continue;
+        obs_evidence.push_back(DbnTemplate::slice_name(n, s));
+      }
+      obs_evidence.push_back(DbnTemplate::slice_name(var, s));
+    }
+    vp.observational = &compiled_->prepare(obs_evidence, query);
+
+    plans_.emplace(var, std::move(vp));
+  }
+}
+
+std::vector<double> SafetyPredictor::infer_compiled(
     const GoldenTrace& trace, std::size_t scene_index,
     const std::string& variable, std::optional<double> value,
     bool use_do) const {
-  // Slice layout of the S-TBN (S = config.slices, S >= 3):
-  //   slice 0            : pre-fault evidence (scene k-1)
-  //   slices 1 .. S-2    : the fault is held (scenes k .. k+S-3); the
-  //                        intervention is asserted in every one of them,
-  //                        matching the campaign runner's stuck-at replay
-  //   slice S-1          : query (scene k + horizon)
-  // Golden evidence is used for slice 0 in full and, in slice 1, for the
-  // nodes the intervention cannot causally influence; everything after
-  // the fault's onset is inferred, not observed.
   const int slices = config_.slices;
-  const int hold = horizon();
-  if (scene_index < 1 ||
-      scene_index + static_cast<std::size_t>(hold) >= trace.scenes.size())
-    return std::nullopt;
+  const ads::SceneRecord& prev = trace.scenes[scene_index - 1];
+  std::vector<double> evidence = ads::scene_variable_values(prev);
 
-  // Scenes k-1 .. k+hold must all have a tracked lead so the window maps
-  // onto the lead-valid dataset the network was fitted on.
-  for (std::size_t s = scene_index - 1;
-       s <= scene_index + static_cast<std::size_t>(hold); ++s)
-    if (trace.scenes[s].lead_gap < 0.0) return std::nullopt;
+  if (value.has_value() && use_do) {
+    const VariablePlans& vp = plans_.at(variable);
+    const auto inject_values =
+        ads::scene_variable_values(trace.scenes[scene_index]);
+    for (std::size_t i : vp.slice1_kept) evidence.push_back(inject_values[i]);
+    const std::vector<double> interventions(
+        static_cast<std::size_t>(slices - 2), *value);
+    return vp.causal->mean(interventions, evidence);
+  }
 
+  if (value.has_value()) {
+    const VariablePlans& vp = plans_.at(variable);
+    for (int s = 1; s <= slices - 2; ++s) {
+      const auto values = ads::scene_variable_values(
+          trace.scenes[scene_index + static_cast<std::size_t>(s - 1)]);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i == vp.var_index) continue;
+        evidence.push_back(values[i]);
+      }
+      evidence.push_back(*value);
+    }
+    return vp.observational->mean(evidence);
+  }
+
+  for (int s = 1; s <= slices - 2; ++s) {
+    const auto values = ads::scene_variable_values(
+        trace.scenes[scene_index + static_cast<std::size_t>(s - 1)]);
+    evidence.insert(evidence.end(), values.begin(), values.end());
+  }
+  return nominal_plan_->mean(evidence);
+}
+
+std::vector<double> SafetyPredictor::infer_exact(
+    const GoldenTrace& trace, std::size_t scene_index,
+    const std::string& variable, std::optional<double> value,
+    bool use_do) const {
+  const int slices = config_.slices;
   const ads::SceneRecord& prev = trace.scenes[scene_index - 1];
   const ads::SceneRecord& inject = trace.scenes[scene_index];
-  const ads::SceneRecord& at_query =
-      trace.scenes[scene_index + static_cast<std::size_t>(hold)];
-
-  const int query_slice = slices - 1;
-  // M-hat (paper eq. (2)): the EV's TRUE kinematic state at the query
-  // slice. Only the physical kinematics are queried -- the safety
-  // envelope comes from the ground-truth scene, and corrupted *beliefs*
-  // endanger the car only through the actuation they provoke, which the
-  // truth/belief-split network propagates causally.
-  const std::vector<std::string> query = {
-      DbnTemplate::slice_name("true_v", query_slice),
-      DbnTemplate::slice_name("true_y_off", query_slice),
-      DbnTemplate::slice_name("true_theta", query_slice),
-      DbnTemplate::slice_name("steer", query_slice)};
+  const std::vector<std::string> query = query_nodes();
 
   const auto& names = ads::scene_variable_names();
   std::vector<Assignment> evidence;
@@ -165,7 +254,6 @@ std::optional<DeltaPrediction> SafetyPredictor::predict_impl(
       evidence.push_back({DbnTemplate::slice_name(names[i], 0), values[i]});
   }
 
-  std::vector<double> m_hat;
   if (value.has_value() && use_do) {
     // Slice 1: golden evidence for nodes the intervention cannot reach
     // (anything downstream of the fault is no longer observed).
@@ -183,8 +271,10 @@ std::optional<DeltaPrediction> SafetyPredictor::predict_impl(
     std::vector<Assignment> interventions;
     for (int s = 1; s <= slices - 2; ++s)
       interventions.push_back({DbnTemplate::slice_name(variable, s), *value});
-    m_hat = net_.do_posterior_mean(interventions, evidence, query);
-  } else if (value.has_value()) {
+    return net_.do_posterior_mean(interventions, evidence, query);
+  }
+
+  if (value.has_value()) {
     // Observational ablation (DESIGN.md ablation 3): the naive approach
     // conditions on the corrupted value together with the FULL golden
     // evidence of the injection window -- including the downstream nodes
@@ -196,24 +286,67 @@ std::optional<DeltaPrediction> SafetyPredictor::predict_impl(
       const auto values = ads::scene_variable_values(scene);
       for (std::size_t i = 0; i < names.size(); ++i) {
         if (names[i] == variable) continue;
-        evidence.push_back(
-            {DbnTemplate::slice_name(names[i], s), values[i]});
+        evidence.push_back({DbnTemplate::slice_name(names[i], s), values[i]});
       }
       evidence.push_back({DbnTemplate::slice_name(variable, s), *value});
     }
-    m_hat = net_.posterior_mean(evidence, query);
-  } else {
-    // Nominal prediction: golden evidence through slice S-2.
-    for (int s = 1; s <= slices - 2; ++s) {
-      const auto& scene = trace.scenes[scene_index +
-                                       static_cast<std::size_t>(s - 1)];
-      const auto values = ads::scene_variable_values(scene);
-      for (std::size_t i = 0; i < names.size(); ++i)
-        evidence.push_back({DbnTemplate::slice_name(names[i], s), values[i]});
-    }
-    m_hat = net_.posterior_mean(evidence, query);
+    return net_.posterior_mean(evidence, query);
   }
-  ++inference_count_;
+
+  // Nominal prediction: golden evidence through slice S-2.
+  for (int s = 1; s <= slices - 2; ++s) {
+    const auto& scene =
+        trace.scenes[scene_index + static_cast<std::size_t>(s - 1)];
+    const auto values = ads::scene_variable_values(scene);
+    for (std::size_t i = 0; i < names.size(); ++i)
+      evidence.push_back({DbnTemplate::slice_name(names[i], s), values[i]});
+  }
+  return net_.posterior_mean(evidence, query);
+}
+
+std::optional<DeltaPrediction> SafetyPredictor::predict_impl(
+    const GoldenTrace& trace, std::size_t scene_index,
+    const std::string& variable, std::optional<double> value, bool use_do,
+    PredictSkip* skip) const {
+  // Slice layout of the S-TBN (S = config.slices, S >= 3):
+  //   slice 0            : pre-fault evidence (scene k-1)
+  //   slices 1 .. S-2    : the fault is held (scenes k .. k+S-3); the
+  //                        intervention is asserted in every one of them,
+  //                        matching the campaign runner's stuck-at replay
+  //   slice S-1          : query (scene k + horizon)
+  // Golden evidence is used for slice 0 in full and, in slice 1, for the
+  // nodes the intervention cannot causally influence; everything after
+  // the fault's onset is inferred, not observed.
+  if (skip) *skip = PredictSkip::kNone;
+  const int hold = horizon();
+  if (scene_index < 1 ||
+      scene_index + static_cast<std::size_t>(hold) >= trace.scenes.size()) {
+    if (skip) *skip = PredictSkip::kNoWindow;
+    return std::nullopt;
+  }
+
+  // Scenes k-1 .. k+hold must all have a tracked lead so the window maps
+  // onto the lead-valid dataset the network was fitted on.
+  for (std::size_t s = scene_index - 1;
+       s <= scene_index + static_cast<std::size_t>(hold); ++s)
+    if (trace.scenes[s].lead_gap < 0.0) {
+      if (skip) *skip = PredictSkip::kNoLead;
+      return std::nullopt;
+    }
+
+  const ads::SceneRecord& at_query =
+      trace.scenes[scene_index + static_cast<std::size_t>(hold)];
+
+  // M-hat (paper eq. (2)): the EV's TRUE kinematic state at the query
+  // slice. Only the physical kinematics are queried -- the safety
+  // envelope comes from the ground-truth scene, and corrupted *beliefs*
+  // endanger the car only through the actuation they provoke, which the
+  // truth/belief-split network propagates causally.
+  const std::vector<double> m_hat =
+      config_.use_compiled
+          ? infer_compiled(trace, scene_index, variable, value, use_do)
+          : infer_exact(trace, scene_index, variable, value, use_do);
+  inference_count_.fetch_add(1, std::memory_order_relaxed);
 
   DeltaPrediction pred;
   pred.predicted_v = std::max(0.0, m_hat[0]);
@@ -245,19 +378,53 @@ std::optional<DeltaPrediction> SafetyPredictor::predict_impl(
 
 std::optional<DeltaPrediction> SafetyPredictor::predict(
     const GoldenTrace& trace, std::size_t scene_index,
-    const std::string& variable, double value) const {
-  return predict_impl(trace, scene_index, variable, value, /*use_do=*/true);
+    const std::string& variable, double value, PredictSkip* skip) const {
+  return predict_impl(trace, scene_index, variable, value, /*use_do=*/true,
+                      skip);
 }
 
 std::optional<DeltaPrediction> SafetyPredictor::predict_nominal(
-    const GoldenTrace& trace, std::size_t scene_index) const {
-  return predict_impl(trace, scene_index, "", std::nullopt, /*use_do=*/true);
+    const GoldenTrace& trace, std::size_t scene_index,
+    PredictSkip* skip) const {
+  return predict_impl(trace, scene_index, "", std::nullopt, /*use_do=*/true,
+                      skip);
 }
 
 std::optional<DeltaPrediction> SafetyPredictor::predict_observational(
     const GoldenTrace& trace, std::size_t scene_index,
-    const std::string& variable, double value) const {
-  return predict_impl(trace, scene_index, variable, value, /*use_do=*/false);
+    const std::string& variable, double value, PredictSkip* skip) const {
+  return predict_impl(trace, scene_index, variable, value, /*use_do=*/false,
+                      skip);
+}
+
+void save_predictor(const SafetyPredictor& predictor,
+                    const std::string& path) {
+  bn::NetworkMeta meta;
+  const SafetyPredictorConfig& c = predictor.config();
+  meta["slices"] = static_cast<double>(c.slices);
+  meta["scene_hz"] = c.scene_hz;
+  meta["amax"] = c.amax;
+  meta["wheelbase"] = c.wheelbase;
+  meta["lane_half_width"] = c.lane_half_width;
+  meta["ego_half_width"] = c.ego_half_width;
+  bn::save_network_file(predictor.network(), path, meta);
+}
+
+SafetyPredictor load_predictor(const std::string& path) {
+  bn::NetworkMeta meta;
+  bn::LinearGaussianNetwork net = bn::load_network_file(path, &meta);
+  SafetyPredictorConfig config;
+  const auto get = [&meta](const char* key, double fallback) {
+    const auto it = meta.find(key);
+    return it != meta.end() ? it->second : fallback;
+  };
+  config.slices = static_cast<int>(get("slices", config.slices));
+  config.scene_hz = get("scene_hz", config.scene_hz);
+  config.amax = get("amax", config.amax);
+  config.wheelbase = get("wheelbase", config.wheelbase);
+  config.lane_half_width = get("lane_half_width", config.lane_half_width);
+  config.ego_half_width = get("ego_half_width", config.ego_half_width);
+  return SafetyPredictor(std::move(net), config);
 }
 
 }  // namespace drivefi::core

@@ -33,6 +33,9 @@ CampaignStats Experiment::run(const FaultModel& model,
   meta.model_name = model.name();
   meta.planned_runs = n;
   for (ResultSink* sink : sinks) sink->begin(meta);
+  // Model-specific campaign artifacts (e.g. the Bayesian selection behind
+  // a selected-fault replay) land between the header and the first record.
+  for (ResultSink* sink : sinks) model.describe(*sink);
 
   CampaignStats stats;
   const ParallelExecutor executor(options_.executor);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/experiment.h"
+#include "core/result_sink.h"
 #include "util/rng.h"
 
 namespace drivefi::core {
@@ -83,6 +84,58 @@ RunSpec SelectedFaultModel::spec(std::size_t run_index,
                           ? hold_seconds_override_
                           : experiment.targeted_hold_seconds();
   return spec;
+}
+
+BayesianFaultModel::BayesianFaultModel(const Experiment& experiment,
+                                       BayesianCampaignConfig config)
+    : predictor_(std::make_shared<const SafetyPredictor>(experiment.goldens(),
+                                                         config.predictor)) {
+  select(experiment, config);
+}
+
+BayesianFaultModel::BayesianFaultModel(
+    const Experiment& experiment,
+    std::shared_ptr<const SafetyPredictor> predictor,
+    BayesianCampaignConfig config)
+    : predictor_(std::move(predictor)) {
+  select(experiment, config);
+}
+
+void BayesianFaultModel::select(const Experiment& experiment,
+                                const BayesianCampaignConfig& config) {
+  catalog_ = build_catalog(experiment.scenarios(), default_target_ranges(),
+                           experiment.pipeline_config().scene_hz);
+  const BayesianFaultSelector selector(*predictor_, config.target_map);
+  selection_ = selector.select_critical_faults(catalog_, experiment.goldens(),
+                                               config.selection);
+  const std::size_t count =
+      config.max_replays == 0
+          ? selection_.critical.size()
+          : std::min(config.max_replays, selection_.critical.size());
+  replays_.assign(selection_.critical.begin(),
+                  selection_.critical.begin() +
+                      static_cast<std::ptrdiff_t>(count));
+}
+
+RunSpec BayesianFaultModel::spec(std::size_t run_index,
+                                 const Experiment& experiment) const {
+  (void)experiment;
+  RunSpec spec;
+  spec.kind = RunSpec::Kind::kValue;
+  spec.run_index = run_index;
+  spec.fault = replays_.at(run_index).fault;
+  // F_crit replays validate exactly what the predictor scored: stuck-at
+  // for the predictor's own horizon at its own scene rate -- derived from
+  // the predictor, not the Experiment's default hold, so a non-default
+  // unroll (slices != 4, or a --load-bn'd deeper model) still replays the
+  // counterfactual it predicted.
+  spec.hold_seconds = static_cast<double>(predictor_->horizon()) /
+                      predictor_->config().scene_hz;
+  return spec;
+}
+
+void BayesianFaultModel::describe(ResultSink& sink) const {
+  sink.selection(selection_);
 }
 
 }  // namespace drivefi::core

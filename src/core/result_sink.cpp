@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iomanip>
 
+#include "core/selector.h"
+
 namespace drivefi::core {
 
 namespace {
@@ -80,6 +82,20 @@ void CsvSink::consume(const InjectionRecord& record) {
 void JsonlSink::begin(const CampaignMeta& meta) {
   out_ << "{\"type\":\"campaign\",\"model\":\"" << json_escape(meta.model_name)
        << "\",\"planned_runs\":" << meta.planned_runs << "}\n";
+}
+
+void JsonlSink::selection(const SelectionResult& result) {
+  out_ << "{\"type\":\"selection\",\"candidates_total\":"
+       << result.candidates_total
+       << ",\"candidates_evaluated\":" << result.candidates_evaluated
+       << ",\"skipped_unmapped\":" << result.skipped_unmapped
+       << ",\"skipped_no_window\":" << result.skipped_no_window
+       << ",\"skipped_no_lead\":" << result.skipped_no_lead
+       << ",\"skipped_golden_unsafe\":" << result.skipped_golden_unsafe
+       << ",\"critical\":" << result.critical.size()
+       << ",\"inference_calls\":" << result.inference_calls
+       << ",\"wall_seconds\":" << std::setprecision(17)
+       << result.wall_seconds << "}\n";
 }
 
 void JsonlSink::consume(const InjectionRecord& record) {

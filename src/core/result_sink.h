@@ -13,6 +13,8 @@
 
 namespace drivefi::core {
 
+struct SelectionResult;  // core/selector.h; by-reference use only here
+
 // Immutable campaign header handed to sinks before the first record.
 struct CampaignMeta {
   std::string model_name;     // FaultModel::name()
@@ -24,6 +26,10 @@ class ResultSink {
   virtual ~ResultSink() = default;
 
   virtual void begin(const CampaignMeta& meta) { (void)meta; }
+  // Per-campaign artifact hook: a selected-fault model (BayesianFaultModel)
+  // surfaces the Bayesian selection behind its replays here, between
+  // begin() and the first record. Default: ignore.
+  virtual void selection(const SelectionResult& result) { (void)result; }
   // Called once per run, in strictly increasing run_index order, never
   // concurrently (the executor serializes delivery).
   virtual void consume(const InjectionRecord& record) = 0;
@@ -58,12 +64,15 @@ class CsvSink : public ResultSink {
 };
 
 // Streaming JSONL: one JSON object per record, plus a final summary line
-// with the aggregate outcome counts.
+// with the aggregate outcome counts. Bayesian campaigns additionally emit
+// one `selection` record (F_crit size, distinct skip-reason counters,
+// inference accounting) between the campaign header and the first run.
 class JsonlSink : public ResultSink {
  public:
   explicit JsonlSink(std::ostream& out) : out_(out) {}
 
   void begin(const CampaignMeta& meta) override;
+  void selection(const SelectionResult& result) override;
   void consume(const InjectionRecord& record) override;
   void finish(const CampaignStats& stats) override;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "bn/compiled.h"
 #include "bn/dbn.h"
 #include "bn/discrete.h"
 #include "bn/dsep.h"
@@ -211,6 +212,32 @@ TEST(LinearGaussian, DoPosteriorDropsConflictingEvidence) {
   const auto mean =
       net.do_posterior_mean({{"y", 10.0}}, {{"y", -5.0}}, {"z"});
   EXPECT_NEAR(mean[0], -10.0, 1e-10);
+}
+
+// Hand-computed 3-node check of do_posterior_mean with BOTH an
+// intervention and evidence in play: confounder w -> x and w -> y, plus a
+// direct causal edge x -> y.
+//   w ~ N(0, 1);  x = w + N(0, 1);  y = x + w + N(0, 1).
+// Under do(x = 2) the w -> x edge is severed, so
+//   E[y | do(x=2), w=1] = 2 + 1       = 3   (structural equation)
+//   E[y | do(x=2)]      = 2 + E[w]    = 2
+// whereas OBSERVING x = 2 back-infers w: E[w | x=2] = cov/var = 1/2 * 2
+// = 1, so E[y | x=2] = 2 + 1 = 3 even without w evidence.
+TEST(LinearGaussian, DoPosteriorMeanHandComputedThreeNode) {
+  LinearGaussianNetwork net;
+  net.add_node("w", {}, {}, 0.0, 1.0);
+  net.add_node("x", {"w"}, {1.0}, 0.0, 1.0);
+  net.add_node("y", {"x", "w"}, {1.0, 1.0}, 0.0, 1.0);
+
+  const auto with_evidence =
+      net.do_posterior_mean({{"x", 2.0}}, {{"w", 1.0}}, {"y"});
+  EXPECT_NEAR(with_evidence[0], 3.0, 1e-12);
+
+  const auto without_evidence = net.do_posterior_mean({{"x", 2.0}}, {}, {"y"});
+  EXPECT_NEAR(without_evidence[0], 2.0, 1e-12);
+
+  const auto observed = net.posterior_mean({{"x", 2.0}}, {"y"});
+  EXPECT_NEAR(observed[0], 3.0, 1e-10);
 }
 
 // ---------- Fitting ----------
@@ -654,6 +681,224 @@ TEST(Serialize, RejectsForwardParentReference) {
       "node y 0.0 1.0 1 x 2.0\n"
       "node x 0.0 1.0 0\n");
   EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, MetaRoundTripsWithNetwork) {
+  const auto net = small_chain();
+  NetworkMeta meta = {{"slices", 4.0}, {"scene_hz", 7.5}, {"amax", 6.0}};
+  std::stringstream buffer;
+  save_network(net, buffer, meta);
+  EXPECT_NE(buffer.str().find("drivefi-bn 2"), std::string::npos);
+
+  NetworkMeta restored;
+  const auto loaded = load_network(buffer, &restored);
+  EXPECT_EQ(restored, meta);
+  EXPECT_EQ(loaded.node_count(), net.node_count());
+}
+
+TEST(Serialize, EmptyMetaKeepsVersionOneByteStream) {
+  const auto net = small_chain();
+  std::stringstream buffer;
+  save_network(net, buffer);
+  EXPECT_NE(buffer.str().find("drivefi-bn 1"), std::string::npos);
+  EXPECT_EQ(buffer.str().find("meta"), std::string::npos);
+
+  // Loading a v1 file with a meta out-param yields an empty map.
+  NetworkMeta restored = {{"stale", 1.0}};
+  load_network(buffer, &restored);
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(Serialize, RejectsInvalidMetaBeforeWritingAnything) {
+  // A bad meta map must fail BEFORE any bytes hit the stream -- a
+  // half-written meta section would be permanently unloadable.
+  const auto net = small_chain();
+  for (const NetworkMeta& bad :
+       {NetworkMeta{{"", 1.0}}, NetworkMeta{{"two words", 1.0}},
+        NetworkMeta{{"nan_value", std::nan("")}}}) {
+    std::stringstream buffer;
+    EXPECT_THROW(save_network(net, buffer, bad), std::runtime_error);
+    EXPECT_TRUE(buffer.str().empty());
+  }
+}
+
+TEST(Serialize, RejectsMetaInVersionOneFile) {
+  std::stringstream buffer(
+      "drivefi-bn 1\n"
+      "meta 1 slices 4\n"
+      "node x 0.0 1.0 0\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedMeta) {
+  std::stringstream buffer("drivefi-bn 2\nmeta 2 slices 4\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+// ---------- Compiled inference engine ----------
+
+TEST(Compiled, ObservationalPlanMatchesExactConditioning) {
+  const auto net = small_chain();
+  const CompiledNetwork compiled(net);
+  const auto& plan = compiled.prepare({"z"}, {"x", "y"});
+  for (double z : {-3.0, 0.0, 1.7, 42.0}) {
+    const auto exact = net.posterior_mean({{"z", z}}, {"x", "y"});
+    const auto fast = plan.mean({z});
+    ASSERT_EQ(fast.size(), 2u);
+    EXPECT_NEAR(fast[0], exact[0], 1e-12) << z;
+    EXPECT_NEAR(fast[1], exact[1], 1e-12) << z;
+  }
+}
+
+TEST(Compiled, DoPlanMatchesExactCounterfactual) {
+  // Confounded net where do() and observe differ; the compiled do-plan
+  // must reproduce the exact graph-surgery path for any (value, evidence).
+  LinearGaussianNetwork net;
+  net.add_node("w", {}, {}, 0.5, 1.0);
+  net.add_node("x", {"w"}, {1.0}, 0.0, 1.0);
+  net.add_node("y", {"x", "w"}, {1.0, 1.0}, 0.25, 1.0);
+  net.add_node("z", {"y"}, {-2.0}, 0.0, 0.5);
+
+  const CompiledNetwork compiled(net);
+  const auto& plan = compiled.prepare_do({"x"}, {"w"}, {"y", "z"});
+  for (double x : {-1.0, 0.0, 2.0})
+    for (double w : {-2.0, 1.0}) {
+      const auto exact = net.do_posterior_mean({{"x", x}}, {{"w", w}},
+                                               {"y", "z"});
+      const auto fast = plan.mean({x}, {w});
+      EXPECT_NEAR(fast[0], exact[0], 1e-12) << x << "," << w;
+      EXPECT_NEAR(fast[1], exact[1], 1e-12) << x << "," << w;
+    }
+}
+
+TEST(Compiled, PosteriorCovarianceMatchesExact) {
+  const auto net = small_chain();
+  const CompiledNetwork compiled(net);
+  const auto& plan = compiled.prepare({"z"}, {"x", "y"});
+  const auto exact = net.posterior({{"z", 1.0}}, {"x", "y"});
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_NEAR(plan.posterior_covariance()(r, c),
+                  exact.covariance()(r, c), 1e-10);
+}
+
+TEST(Compiled, PlansAreCachedPerStructure) {
+  const auto net = small_chain();
+  const CompiledNetwork compiled(net);
+  const auto& a = compiled.prepare({"x"}, {"z"});
+  const auto& b = compiled.prepare({"x"}, {"z"});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(compiled.plan_count(), 1u);
+  compiled.prepare_do({"y"}, {"x"}, {"z"});
+  EXPECT_EQ(compiled.plan_count(), 2u);
+}
+
+TEST(Compiled, RejectsOverlappingStructure) {
+  const auto net = small_chain();
+  const CompiledNetwork compiled(net);
+  EXPECT_THROW(compiled.prepare({"x"}, {"x"}), std::invalid_argument);
+  EXPECT_THROW(compiled.prepare_do({"y"}, {"y"}, {"z"}),
+               std::invalid_argument);
+}
+
+TEST(Compiled, NoEvidencePlanReturnsPriorOrInterventionalMean) {
+  const auto net = small_chain();
+  const CompiledNetwork compiled(net);
+  const auto& prior = compiled.prepare({}, {"y"});
+  // small_chain prior: E[y] = 2 E[x] + 0.5 = 2.5.
+  EXPECT_NEAR(prior.mean(std::vector<double>{})[0], 2.5, 1e-12);
+  const auto& surgery = compiled.prepare_do({"y"}, {}, {"z"});
+  EXPECT_NEAR(surgery.mean({10.0}, {})[0], -10.0, 1e-12);
+}
+
+TEST(Compiled, BatchedSweepMatchesScalarQueries) {
+  LinearGaussianNetwork net;
+  net.add_node("a", {}, {}, 1.0, 2.0);
+  net.add_node("b", {"a"}, {0.8}, -0.5, 1.0);
+  net.add_node("c", {"a", "b"}, {0.3, -1.1}, 0.0, 0.5);
+  net.add_node("d", {"c"}, {2.0}, 1.0, 0.25);
+
+  const CompiledNetwork compiled(net);
+  const auto& plan = compiled.prepare_do({"b"}, {"a"}, {"c", "d"});
+
+  util::Rng rng(71);
+  const std::size_t rows = 64;
+  util::Matrix iv(rows, 1);
+  util::Matrix ev(rows, 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    iv(r, 0) = rng.uniform(-4.0, 4.0);
+    ev(r, 0) = rng.uniform(-4.0, 4.0);
+  }
+  const util::Matrix batch = plan.mean_batch(iv, ev);
+  ASSERT_EQ(batch.rows(), rows);
+  ASSERT_EQ(batch.cols(), 2u);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto scalar = plan.mean({iv(r, 0)}, {ev(r, 0)});
+    EXPECT_DOUBLE_EQ(batch(r, 0), scalar[0]);
+    EXPECT_DOUBLE_EQ(batch(r, 1), scalar[1]);
+  }
+}
+
+// Randomized agreement sweep: random chain+confounder networks, random
+// (interventions, evidence, query) partitions, random values -- compiled
+// must track the exact path within the 1e-9 acceptance bound.
+TEST(Compiled, AgreesWithExactAcrossRandomNetworks) {
+  // Node names built via append rather than operator+ to dodge GCC 12's
+  // -Wrestrict false positive (PR105329) under -O2 -Werror.
+  const auto node_name = [](std::size_t i) {
+    std::string name("n");
+    name += std::to_string(i);
+    return name;
+  };
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    util::Rng rng(seed);
+    const std::size_t n = 8 + rng.uniform_index(25);
+    LinearGaussianNetwork net;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string name = node_name(i);
+      if (i == 0) {
+        net.add_node(name, {}, {}, rng.uniform(-1, 1), 1.0);
+      } else if (i == 1) {
+        net.add_node(name, {"n0"}, {rng.uniform(-1, 1)}, 0.1, 0.5);
+      } else {
+        net.add_node(name, {node_name(i - 1), node_name(i - 2)},
+                     {rng.uniform(-0.8, 0.8), rng.uniform(-0.3, 0.3)},
+                     rng.uniform(-0.2, 0.2), 0.3);
+      }
+    }
+
+    // Partition: one intervened node mid-chain, a few evidence nodes
+    // upstream, two query nodes downstream.
+    const std::size_t mid = n / 2;
+    const std::vector<std::string> interventions = {node_name(mid)};
+    std::vector<std::string> evidence = {"n0"};
+    if (mid > 2) evidence.push_back("n2");
+    const std::vector<std::string> query = {node_name(n - 1),
+                                            node_name(n - 2)};
+
+    const CompiledNetwork compiled(net);
+    const auto& plan = compiled.prepare_do(interventions, evidence, query);
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<Assignment> iv_exact, ev_exact;
+      std::vector<double> iv, ev;
+      for (const auto& name : interventions) {
+        const double v = rng.uniform(-5.0, 5.0);
+        iv_exact.push_back({name, v});
+        iv.push_back(v);
+      }
+      for (const auto& name : evidence) {
+        const double v = rng.uniform(-5.0, 5.0);
+        ev_exact.push_back({name, v});
+        ev.push_back(v);
+      }
+      const auto exact = net.do_posterior_mean(iv_exact, ev_exact, query);
+      const auto fast = plan.mean(iv, ev);
+      ASSERT_EQ(fast.size(), exact.size());
+      for (std::size_t i = 0; i < exact.size(); ++i)
+        EXPECT_NEAR(fast[i], exact[i], 1e-9)
+            << "seed " << seed << " trial " << trial << " q" << i;
+    }
+  }
 }
 
 // ---------- Linear-Gaussian structural properties ----------

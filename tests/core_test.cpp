@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-
+#include <cstdio>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "core/bayes_model.h"
 #include "core/experiment.h"
@@ -308,6 +310,103 @@ TEST_F(BayesModelTest, PredictionWindowBoundsRespected) {
                    .has_value());
 }
 
+TEST_F(BayesModelTest, SkipReasonsReported) {
+  const GoldenTrace& trace = (*traces_)[0];
+  PredictSkip skip = PredictSkip::kNone;
+  EXPECT_FALSE(predictor_->predict(trace, 0, "throttle", 1.0, &skip));
+  EXPECT_EQ(skip, PredictSkip::kNoWindow);
+
+  // Poison the lead in a mid-trace window: the same scene must now skip
+  // with kNoLead instead.
+  GoldenTrace poisoned = trace;
+  ASSERT_GT(poisoned.scenes.size(), 62u);
+  ASSERT_TRUE(predictor_->predict(poisoned, 60, "throttle", 1.0, &skip));
+  EXPECT_EQ(skip, PredictSkip::kNone);
+  poisoned.scenes[61].lead_gap = -1.0;
+  EXPECT_FALSE(predictor_->predict(poisoned, 60, "throttle", 1.0, &skip));
+  EXPECT_EQ(skip, PredictSkip::kNoLead);
+}
+
+TEST_F(BayesModelTest, CompiledMatchesExactPathWithinTolerance) {
+  // The compiled engine (cached joint + per-variable plans) must agree
+  // with the per-query joint()+condition path on every prediction kind,
+  // across variables and scenes, to well under the 1e-9 acceptance bound.
+  SafetyPredictorConfig exact_config;
+  exact_config.use_compiled = false;
+  const SafetyPredictor exact(predictor_->network(), exact_config);
+
+  const auto compare = [](const std::optional<DeltaPrediction>& a,
+                          const std::optional<DeltaPrediction>& b,
+                          const std::string& what) {
+    ASSERT_EQ(a.has_value(), b.has_value()) << what;
+    if (!a) return;
+    EXPECT_NEAR(a->delta_lon, b->delta_lon, 1e-9) << what;
+    EXPECT_NEAR(a->delta_lat, b->delta_lat, 1e-9) << what;
+    EXPECT_NEAR(a->predicted_v, b->predicted_v, 1e-9) << what;
+    EXPECT_NEAR(a->predicted_y, b->predicted_y, 1e-9) << what;
+    EXPECT_NEAR(a->predicted_theta, b->predicted_theta, 1e-9) << what;
+  };
+
+  int compared = 0;
+  for (const auto& trace : *traces_) {
+    for (std::size_t k = 1; k < trace.scenes.size(); k += 17) {
+      compare(predictor_->predict_nominal(trace, k),
+              exact.predict_nominal(trace, k), "nominal");
+      for (const auto& [variable, value] :
+           std::vector<std::pair<std::string, double>>{{"throttle", 1.0},
+                                                       {"brake", 1.0},
+                                                       {"v", 45.0},
+                                                       {"y_off", 1.5},
+                                                       {"lead_gap", 2.0}}) {
+        compare(predictor_->predict(trace, k, variable, value),
+                exact.predict(trace, k, variable, value), "do " + variable);
+        compare(predictor_->predict_observational(trace, k, variable, value),
+                exact.predict_observational(trace, k, variable, value),
+                "observe " + variable);
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 50);
+}
+
+TEST_F(BayesModelTest, FittedPredictorRoundTripsThroughSerialization) {
+  // Fit once, select anywhere: the fitted DBN and its config survive
+  // save/load exactly (CPDs bit-equal, predictions bit-equal).
+  const std::string path = "predictor_roundtrip_test.bn";
+  save_predictor(*predictor_, path);
+  const SafetyPredictor loaded = load_predictor(path);
+
+  EXPECT_EQ(loaded.config().slices, predictor_->config().slices);
+  EXPECT_DOUBLE_EQ(loaded.config().scene_hz, predictor_->config().scene_hz);
+  EXPECT_DOUBLE_EQ(loaded.config().amax, predictor_->config().amax);
+
+  const auto& net = predictor_->network();
+  const auto& renet = loaded.network();
+  ASSERT_EQ(renet.node_count(), net.node_count());
+  for (bn::NodeId i = 0; i < net.node_count(); ++i) {
+    const auto& original = net.cpd(i);
+    const auto& restored = renet.cpd(renet.id(net.name(i)));
+    EXPECT_DOUBLE_EQ(restored.bias, original.bias) << net.name(i);
+    EXPECT_DOUBLE_EQ(restored.variance, original.variance) << net.name(i);
+    ASSERT_EQ(restored.weights.size(), original.weights.size());
+    for (std::size_t j = 0; j < original.weights.size(); ++j)
+      EXPECT_DOUBLE_EQ(restored.weights[j], original.weights[j])
+          << net.name(i);
+  }
+
+  const GoldenTrace& trace = (*traces_)[0];
+  for (std::size_t k : {40u, 80u, 120u}) {
+    const auto a = predictor_->predict(trace, k, "brake", 1.0);
+    const auto b = loaded.predict(trace, k, "brake", 1.0);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) continue;
+    EXPECT_DOUBLE_EQ(a->delta_lon, b->delta_lon);
+    EXPECT_DOUBLE_EQ(a->predicted_v, b->predicted_v);
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(BayesModelTest, InferenceCountAdvances) {
   const std::size_t before = predictor_->inference_count();
   predictor_->predict_nominal((*traces_)[0], 60);
@@ -361,6 +460,75 @@ TEST(MiniCampaign, EndToEndSelectorAndValidation) {
   // Report tables render without crashing and contain the key rows.
   const auto table = validation_table(selection, replay, catalog.scene_count);
   EXPECT_NE(table.to_ascii().find("hazard precision"), std::string::npos);
+}
+
+TEST(Selector, SkipReasonAccountingIsExhaustive) {
+  std::vector<sim::Scenario> scenarios = {sim::base_suite()[1]};
+  Experiment experiment(scenarios, test_pipeline_config());
+  const auto& goldens = experiment.goldens();
+  SafetyPredictor predictor(goldens);
+  BayesianFaultSelector selector(predictor);
+
+  const auto catalog =
+      build_catalog(scenarios, default_target_ranges(), 7.5);
+  const SelectionResult selection = selector.select(catalog, goldens);
+
+  // Every candidate lands in exactly one bucket.
+  EXPECT_EQ(selection.candidates_total, catalog.size());
+  EXPECT_EQ(selection.candidates_evaluated + selection.candidates_skipped(),
+            selection.candidates_total);
+  EXPECT_EQ(selection.candidates_skipped(),
+            selection.skipped_unmapped + selection.skipped_no_window +
+                selection.skipped_no_lead + selection.skipped_golden_unsafe);
+  // The catalog includes unmapped targets (e.g. gps.x) and boundary scenes,
+  // so both buckets must be populated on a real corpus.
+  EXPECT_GT(selection.skipped_unmapped, 0u);
+  EXPECT_GT(selection.skipped_no_window, 0u);
+  EXPECT_EQ(selection.inference_calls, selection.candidates_evaluated);
+}
+
+TEST(BayesianFaultModelTest, FullLoopEmitsSelectionRecordAndReplays) {
+  // The whole DriveFI loop as one Experiment campaign: golden precompute
+  // (Experiment ctor) -> fit -> parallel selection -> F_crit replay, with
+  // the selection record streamed through the JSONL sink.
+  std::vector<sim::Scenario> scenarios = {sim::base_suite()[2],
+                                          sim::example1_lead_lane_change()};
+  Experiment experiment(scenarios, test_pipeline_config());
+
+  BayesianCampaignConfig config;
+  config.max_replays = 6;
+  const BayesianFaultModel model(experiment, config);
+
+  EXPECT_EQ(model.selection().candidates_total, model.catalog().size());
+  EXPECT_LE(model.run_count(), 6u);
+  EXPECT_EQ(model.run_count(),
+            std::min<std::size_t>(6, model.selection().critical.size()));
+
+  // Replay hold derives from the predictor it validates (horizon scenes at
+  // the predictor's scene rate), not from the Experiment's default hold.
+  if (model.run_count() > 0) {
+    const RunSpec spec = model.spec(0, experiment);
+    EXPECT_DOUBLE_EQ(spec.hold_seconds,
+                     static_cast<double>(model.predictor().horizon()) /
+                         model.predictor().config().scene_hz);
+  }
+
+  std::ostringstream jsonl;
+  JsonlSink sink(jsonl);
+  const CampaignStats stats = experiment.run(model, {&sink});
+  EXPECT_EQ(stats.total(), model.run_count());
+
+  const std::string text = jsonl.str();
+  EXPECT_NE(text.find("\"type\":\"selection\""), std::string::npos);
+  EXPECT_NE(text.find("\"skipped_no_window\":"), std::string::npos);
+  EXPECT_NE(text.find("\"model\":\"bayesian-drivefi\""), std::string::npos);
+  // Header precedes the selection record, which precedes the first run.
+  EXPECT_LT(text.find("\"type\":\"campaign\""),
+            text.find("\"type\":\"selection\""));
+  if (model.run_count() > 0) {
+    EXPECT_LT(text.find("\"type\":\"selection\""),
+              text.find("\"type\":\"run\""));
+  }
 }
 
 TEST(Campaign, ValueFaultRunsClassify) {

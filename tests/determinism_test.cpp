@@ -10,8 +10,10 @@
 #include <sstream>
 #include <string>
 
+#include "core/bayes_model.h"
 #include "core/experiment.h"
 #include "core/fault_model.h"
+#include "core/selector.h"
 #include "util/rng.h"
 
 namespace drivefi::core {
@@ -78,6 +80,68 @@ TEST(Determinism, BitflipCampaignIdenticalAcrossThreadCounts) {
   const std::string base = fingerprint(single.run(model));
   EXPECT_EQ(base, fingerprint(pooled.run(model)));
   EXPECT_EQ(base, fingerprint(pooled.run(model)));
+}
+
+// Serializes a SelectionResult except wall_seconds, with exact bit
+// patterns for every double (predictions included).
+std::string selection_fingerprint(const SelectionResult& result) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "total=" << result.candidates_total
+      << " evaluated=" << result.candidates_evaluated
+      << " unmapped=" << result.skipped_unmapped
+      << " no_window=" << result.skipped_no_window
+      << " no_lead=" << result.skipped_no_lead
+      << " golden_unsafe=" << result.skipped_golden_unsafe
+      << " inferences=" << result.inference_calls << "\n";
+  for (const auto& sf : result.critical) {
+    out << sf.fault.scenario_index << "|" << sf.fault.scene_index << "|"
+        << sf.fault.target << "|" << static_cast<int>(sf.fault.extreme) << "|"
+        << sf.fault.value << "|" << sf.fault.inject_time << "|"
+        << sf.prediction.delta_lon << "|" << sf.prediction.delta_lat << "|"
+        << sf.prediction.predicted_v << "|" << sf.prediction.predicted_y
+        << "|" << sf.prediction.predicted_theta << "|" << sf.golden_delta_lon
+        << "|" << sf.golden_delta_lat << "\n";
+  }
+  return out.str();
+}
+
+TEST(Determinism, BayesianSelectionIdenticalAcrossThreadCounts) {
+  // The parallel catalog sweep is a first-class campaign: its
+  // SelectionResult (F_crit order, counters, every predicted double) must
+  // be bit-identical at 1, 2, and 8 threads, and across repeated runs.
+  const Experiment experiment = make_experiment(1);
+  const SafetyPredictor predictor(experiment.goldens());
+  const BayesianFaultSelector selector(predictor);
+  const auto catalog = build_catalog(experiment.scenarios(),
+                                     default_target_ranges(), 7.5);
+
+  std::string base;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SelectionOptions options;
+    options.executor.threads = threads;
+    const SelectionResult result =
+        selector.select_critical_faults(catalog, experiment.goldens(), options);
+    EXPECT_GT(result.candidates_evaluated, 0u);
+    const std::string fp = selection_fingerprint(result);
+    if (threads == 1) {
+      base = fp;
+      // And stable across consecutive runs of the same configuration.
+      EXPECT_EQ(base, selection_fingerprint(selector.select_critical_faults(
+                          catalog, experiment.goldens(), options)));
+    } else {
+      EXPECT_EQ(base, fp)
+          << threads << "-thread selection diverged from single-threaded";
+    }
+  }
+
+  // An awkward chunk size (not dividing the catalog, smaller than a
+  // thread's share) must not change the result either.
+  SelectionOptions odd;
+  odd.executor.threads = 3;
+  odd.chunk = 17;
+  EXPECT_EQ(base, selection_fingerprint(selector.select_critical_faults(
+                      catalog, experiment.goldens(), odd)));
 }
 
 TEST(Determinism, ThreadCountDoesNotLeakIntoSpecs) {
