@@ -35,8 +35,12 @@ int main() {
   const core::Experiment experiment(golden_suite, config);
   const auto& goldens = experiment.goldens();
 
-  // Measured wall cost of one full-simulation injected run.
+  // Measured wall cost of one full-simulation injected run. The median is
+  // robust to first-run warmup; the mean stays the cost-model input so the
+  // projection matches what a campaign actually pays.
   const double per_run_seconds = experiment.mean_run_wall_seconds();
+  std::printf("full-run cost: mean %.4f s, median %.4f s per scenario\n",
+              per_run_seconds, experiment.median_run_wall_seconds());
 
   // Catalog over the golden suite (what the selector actually sweeps).
   const auto catalog =
@@ -68,6 +72,17 @@ int main() {
       static_cast<double>(full_catalog.size()) * per_run_seconds;
   projection.add_row({"est. exhaustive over full corpus (days)",
                       util::Table::fmt(full_exhaustive / 86400.0, 1)});
+  // Forked-replay counterpart: what the same exhaustive sweep would cost
+  // with fork-from-golden replays (measured when replays have run, else
+  // projected from the ~2x prefix saving of a uniform injection time).
+  const double per_forked_run_seconds =
+      experiment.forked_runs_executed() > 0
+          ? experiment.mean_forked_run_wall_seconds()
+          : 0.5 * per_run_seconds;
+  projection.add_row({"est. exhaustive with forked replays (days)",
+                      util::Table::fmt(static_cast<double>(full_catalog.size()) *
+                                           per_forked_run_seconds / 86400.0,
+                                       1)});
   const double selector_rate =
       selection.wall_seconds > 0.0
           ? static_cast<double>(selection.candidates_total) /

@@ -22,14 +22,9 @@ namespace {
 
 // Record fingerprint excluding wall_seconds (the only timing-dependent
 // field); used to assert bit-identical results across thread counts.
+// Shared with the determinism tests and the replay-fork divergence gate.
 std::string fingerprint(const core::CampaignStats& stats) {
-  std::ostringstream out;
-  out << std::hexfloat;
-  for (const auto& r : stats.records)
-    out << r.run_index << '|' << r.description << '|' << r.scene_index << '|'
-        << static_cast<int>(r.outcome) << '|' << r.min_delta_lon << '|'
-        << r.max_actuation_divergence << '\n';
-  return out.str();
+  return core::campaign_fingerprint(stats);
 }
 
 }  // namespace

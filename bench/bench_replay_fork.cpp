@@ -1,0 +1,215 @@
+// Fork-from-golden replay bench: measures the campaign-level wall-clock
+// speedup of forked replays (checkpoint restore + golden-tail splicing)
+// against full-prefix simulation on the E3 random campaign, verifies the
+// two are bit-identical, and sweeps early/mid/late injection times to show
+// where the savings come from. Emits BENCH_replay_fork.json and exits
+// nonzero below the speedup floor or on any forked/full divergence, so CI
+// can gate on it.
+//
+//   ./bench_replay_fork [n_value_runs] [out.json] [speedup_floor]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+
+namespace {
+
+// Value faults pinned to one fraction of each scenario's duration, cycling
+// over targets: isolates how the fork point (early/mid/late injection)
+// drives the savings.
+class PinnedTimeModel : public core::FaultModel {
+ public:
+  PinnedTimeModel(std::size_t n, double fraction, const core::Experiment& e)
+      : n_(n), fraction_(fraction),
+        targets_(core::default_target_ranges()),
+        scenario_count_(e.scenarios().size()) {}
+
+  std::string name() const override { return "pinned-time"; }
+  std::size_t run_count() const override { return n_; }
+  core::RunSpec spec(std::size_t i,
+                     const core::Experiment& e) const override {
+    core::RunSpec spec;
+    spec.kind = core::RunSpec::Kind::kValue;
+    spec.run_index = i;
+    spec.hold_seconds = e.transient_hold_seconds();
+    core::CandidateFault& fault = spec.fault;
+    fault.scenario_index = i % scenario_count_;
+    const auto& target = targets_[(i / scenario_count_) % targets_.size()];
+    fault.target = target.name;
+    fault.extreme = i % 2 ? core::Extreme::kMin : core::Extreme::kMax;
+    fault.value =
+        fault.extreme == core::Extreme::kMin ? target.min_value : target.max_value;
+    const double duration = e.scenarios()[fault.scenario_index].duration;
+    fault.inject_time = fraction_ * duration;
+    fault.scene_index = static_cast<std::size_t>(
+        fault.inject_time * e.pipeline_config().scene_hz);
+    return spec;
+  }
+
+ private:
+  std::size_t n_;
+  double fraction_;
+  std::vector<core::TargetRange> targets_;
+  std::size_t scenario_count_;
+};
+
+struct Measurement {
+  double full_seconds = 0.0;
+  double forked_seconds = 0.0;
+  bool identical = false;
+  std::size_t runs = 0;
+  std::size_t spliced = 0;
+  double speedup() const {
+    return forked_seconds > 0.0 ? full_seconds / forked_seconds : 0.0;
+  }
+};
+
+Measurement measure(const core::Experiment& full, const core::Experiment& forked,
+                    const core::FaultModel& model) {
+  Measurement m;
+  m.runs = model.run_count();
+  const std::size_t spliced_before = forked.spliced_runs_executed();
+  const core::CampaignStats a = full.run(model);
+  const core::CampaignStats b = forked.run(model);
+  m.full_seconds = a.wall_seconds;
+  m.forked_seconds = b.wall_seconds;
+  // Bit-exact divergence gate: campaign_fingerprint catches a single
+  // flipped mantissa bit in any record.
+  m.identical = core::campaign_fingerprint(a) == core::campaign_fingerprint(b);
+  m.spliced = forked.spliced_runs_executed() - spliced_before;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_value =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_replay_fork.json";
+  const double floor = argc > 3 ? std::atof(argv[3]) : 2.0;
+  const std::size_t n_bits = n_value / 2;
+
+  auto suite = sim::base_suite();
+  ads::PipelineConfig config;
+  config.seed = 101;  // matches bench_e3_random_fi
+
+  core::ExperimentOptions full_options;
+  full_options.fork_replays = false;
+  std::printf("precomputing goldens (full engine, %zu scenarios)...\n",
+              suite.size());
+  const core::Experiment full(suite, config, {}, full_options);
+
+  core::ExperimentOptions fork_options;  // defaults: fork on, stride 4
+  std::printf("precomputing goldens (forked engine, stride %zu)...\n",
+              fork_options.checkpoint_stride);
+  const core::Experiment forked(suite, config, {}, fork_options);
+
+  // --- E3 random campaign, forked vs full -------------------------------
+  std::printf("E3 random campaigns: %zu value + %zu bit-flip runs each...\n",
+              n_value, n_bits);
+  const core::RandomValueModel values(n_value, 999);
+  const core::BitFlipModel bitflips(n_bits, 555);
+  const Measurement value_m = measure(full, forked, values);
+  const Measurement bit_m = measure(full, forked, bitflips);
+
+  const double campaign_full = value_m.full_seconds + bit_m.full_seconds;
+  const double campaign_forked = value_m.forked_seconds + bit_m.forked_seconds;
+  const double campaign_speedup =
+      campaign_forked > 0.0 ? campaign_full / campaign_forked : 0.0;
+  const bool campaign_identical = value_m.identical && bit_m.identical;
+
+  std::printf("  value:   full %.2fs forked %.2fs  speedup %.2fx  spliced "
+              "%zu/%zu  %s\n",
+              value_m.full_seconds, value_m.forked_seconds, value_m.speedup(),
+              value_m.spliced, value_m.runs,
+              value_m.identical ? "identical" : "DIVERGED");
+  std::printf("  bitflip: full %.2fs forked %.2fs  speedup %.2fx  spliced "
+              "%zu/%zu  %s\n",
+              bit_m.full_seconds, bit_m.forked_seconds, bit_m.speedup(),
+              bit_m.spliced, bit_m.runs,
+              bit_m.identical ? "identical" : "DIVERGED");
+  std::printf("  campaign: %.2fx (target >= 3x, floor %.1fx)\n",
+              campaign_speedup, floor);
+
+  // --- Early/mid/late injection sweep ------------------------------------
+  struct SweepRow {
+    double fraction;
+    Measurement m;
+  };
+  std::vector<SweepRow> sweep;
+  const std::size_t n_sweep = std::max<std::size_t>(n_value / 3, 12);
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    const PinnedTimeModel model(n_sweep, fraction, full);
+    sweep.push_back({fraction, measure(full, forked, model)});
+    const Measurement& m = sweep.back().m;
+    std::printf("  inject @%2.0f%% of run: speedup %.2fx  spliced %zu/%zu  "
+                "%s\n",
+                fraction * 100.0, m.speedup(), m.spliced, m.runs,
+                m.identical ? "identical" : "DIVERGED");
+  }
+
+  bool sweep_identical = true;
+  for (const auto& row : sweep) sweep_identical &= row.m.identical;
+
+  // --- Cost-model counters ------------------------------------------------
+  std::printf("  full-run cost:   mean %.4fs median %.4fs (golden runs)\n",
+              full.mean_run_wall_seconds(), full.median_run_wall_seconds());
+  std::printf("  forked-run cost: mean %.4fs over %zu replays (%zu spliced)\n",
+              forked.mean_forked_run_wall_seconds(),
+              forked.forked_runs_executed(), forked.spliced_runs_executed());
+
+  // --- JSON ---------------------------------------------------------------
+  std::ofstream json(out_path);
+  json << "{\n";
+  json << "  \"bench\": \"replay_fork\",\n";
+  json << "  \"checkpoint_stride\": " << fork_options.checkpoint_stride << ",\n";
+  json << "  \"campaign\": {\"runs\": " << (value_m.runs + bit_m.runs)
+       << ", \"full_wall_seconds\": " << campaign_full
+       << ", \"forked_wall_seconds\": " << campaign_forked
+       << ", \"speedup\": " << campaign_speedup << ", \"identical\": "
+       << (campaign_identical ? "true" : "false") << "},\n";
+  json << "  \"value_campaign\": {\"speedup\": " << value_m.speedup()
+       << ", \"spliced\": " << value_m.spliced << ", \"runs\": "
+       << value_m.runs << "},\n";
+  json << "  \"bitflip_campaign\": {\"speedup\": " << bit_m.speedup()
+       << ", \"spliced\": " << bit_m.spliced << ", \"runs\": " << bit_m.runs
+       << "},\n";
+  json << "  \"by_inject_fraction\": [";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (i) json << ", ";
+    json << "{\"fraction\": " << sweep[i].fraction << ", \"speedup\": "
+         << sweep[i].m.speedup() << ", \"spliced\": " << sweep[i].m.spliced
+         << ", \"runs\": " << sweep[i].m.runs << "}";
+  }
+  json << "],\n";
+  json << "  \"mean_full_run_seconds\": " << full.mean_run_wall_seconds()
+       << ",\n";
+  json << "  \"median_full_run_seconds\": " << full.median_run_wall_seconds()
+       << ",\n";
+  json << "  \"mean_forked_run_seconds\": "
+       << forked.mean_forked_run_wall_seconds() << ",\n";
+  json << "  \"speedup_floor\": " << floor << "\n";
+  json << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!campaign_identical || !sweep_identical) {
+    std::fprintf(stderr,
+                 "FAIL: forked replay diverged from full replay (results "
+                 "must be bit-identical)\n");
+    return 1;
+  }
+  if (campaign_speedup < floor) {
+    std::fprintf(stderr, "FAIL: campaign speedup %.2fx below the %.1fx floor\n",
+                 campaign_speedup, floor);
+    return 1;
+  }
+  std::printf("OK: %.2fx campaign speedup, forked == full\n", campaign_speedup);
+  return 0;
+}

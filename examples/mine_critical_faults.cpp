@@ -10,6 +10,8 @@
 //     --save-bn FILE  persist the fitted predictor for later campaigns
 //     --jsonl FILE    stream selection + run records as JSONL
 //     --threads N     selection/replay thread count (0 = all hardware)
+//     --fork / --no-fork      toggle fork-from-golden replay (default: on)
+//     --checkpoint-stride N   scenes between golden checkpoints (default 4)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
   std::size_t n_replay = 25;
   std::string scn_path, load_bn, save_bn, jsonl_path;
   unsigned threads = 0;
+  bool fork_replays = true;
+  std::size_t checkpoint_stride = 4;
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -47,6 +51,10 @@ int main(int argc, char** argv) {
     else if (arg == "--save-bn") save_bn = next();
     else if (arg == "--jsonl") jsonl_path = next();
     else if (arg == "--threads") threads = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--fork") fork_replays = true;
+    else if (arg == "--no-fork") fork_replays = false;
+    else if (arg == "--checkpoint-stride")
+      checkpoint_stride = static_cast<std::size_t>(std::atoi(next()));
     else if (positional == 0) { n_scenarios = static_cast<std::size_t>(std::atoi(arg.c_str())); ++positional; }
     else if (positional == 1) { n_replay = static_cast<std::size_t>(std::atoi(arg.c_str())); ++positional; }
     else { std::fprintf(stderr, "error: unexpected argument %s\n", arg.c_str()); return 2; }
@@ -64,8 +72,12 @@ int main(int argc, char** argv) {
   config.seed = 7;
   core::ExperimentOptions options;
   options.executor.threads = threads;
-  std::printf("running %zu golden scenarios%s...\n", suite.size(),
-              scn_path.empty() ? "" : (" from " + scn_path).c_str());
+  options.fork_replays = fork_replays;
+  options.checkpoint_stride = checkpoint_stride;
+  std::printf("running %zu golden scenarios%s (fork-from-golden %s, "
+              "checkpoint stride %zu)...\n",
+              suite.size(), scn_path.empty() ? "" : (" from " + scn_path).c_str(),
+              fork_replays ? "on" : "off", checkpoint_stride);
   const core::Experiment experiment(suite, config, {}, options);
 
   // The full DriveFI loop as one fault model: fit (or load) the k-TBN,
@@ -135,6 +147,15 @@ int main(int argc, char** argv) {
   }
   const core::CampaignStats replay = experiment.run(*model, sinks);
   core::outcome_table(replay).print("replay outcomes");
+  std::printf("replay wall-clock: %.2f s for %zu runs (fork %s",
+              replay.wall_seconds, replay.total(), fork_replays ? "on" : "off");
+  if (experiment.forked_runs_executed() > 0)
+    std::printf("; %zu forked, %zu spliced, mean %.4f s/run vs %.4f s full",
+                experiment.forked_runs_executed(),
+                experiment.spliced_runs_executed(),
+                experiment.mean_forked_run_wall_seconds(),
+                experiment.mean_run_wall_seconds());
+  std::printf(")\n");
   core::validation_table(selection, replay, model->catalog().scene_count)
       .print("validation summary");
   if (!jsonl_path.empty())

@@ -23,11 +23,34 @@ struct EkfConfig {
   // Innovation gate (Mahalanobis distance, per-measurement); rejects
   // corrupted GPS fixes -- a key masking path for injected faults.
   double gate = 5.0;
+
+  bool operator==(const EkfConfig&) const = default;
 };
 
 class LocalizationEkf {
  public:
+  // Complete filter state: the estimate, its covariance, and whether the
+  // filter has been initialized. Config is not state.
+  struct Snapshot {
+    bool initialized = false;
+    util::Vector x = util::Vector(4);
+    util::Matrix p;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
   explicit LocalizationEkf(const EkfConfig& config = {});
+
+  Snapshot snapshot() const { return {initialized_, x_, p_}; }
+  void restore(const Snapshot& snap) {
+    initialized_ = snap.initialized;
+    x_ = snap.x;
+    p_ = snap.p;
+  }
+  bool state_equals(const Snapshot& snap) const {
+    return initialized_ == snap.initialized && util::bits_equal(x_, snap.x) &&
+           util::bits_equal(p_, snap.p);
+  }
 
   void initialize(double x, double y, double theta, double v);
   bool initialized() const { return initialized_; }

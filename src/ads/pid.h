@@ -23,11 +23,37 @@ struct PidConfig {
   double pedal_slew = 2.5;    // 1/s, max pedal change rate
   double steer_slew = 0.7;    // rad/s
   double brake_deadband = 0.05;  // m/s^2, hysteresis around zero accel
+
+  bool operator==(const PidConfig&) const = default;
 };
 
 class PidController {
  public:
+  // Complete controller state: integrator, derivative memory, and the last
+  // command (the slew limits are relative to it).
+  struct Snapshot {
+    double integral = 0.0;
+    double prev_error = 0.0;
+    bool has_prev = false;
+    ControlMsg last;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
   explicit PidController(const PidConfig& config = {});
+
+  Snapshot snapshot() const { return {integral_, prev_error_, has_prev_, last_}; }
+  void restore(const Snapshot& snap) {
+    integral_ = snap.integral;
+    prev_error_ = snap.prev_error;
+    has_prev_ = snap.has_prev;
+    last_ = snap.last;
+  }
+  bool state_equals(const Snapshot& snap) const {
+    return util::bits_equal(integral_, snap.integral) &&
+           util::bits_equal(prev_error_, snap.prev_error) &&
+           has_prev_ == snap.has_prev && bits_equal(last_, snap.last);
+  }
 
   // One control cycle: track plan.target_accel given the measured accel
   // and speed, slew-limit everything.

@@ -1,6 +1,10 @@
 #include "ads/pipeline.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "util/bits.h"
 
 namespace drivefi::ads {
 
@@ -375,6 +379,125 @@ void AdsPipeline::run_for(double seconds) {
   const auto ticks =
       static_cast<std::uint64_t>(std::llround(seconds * config_.base_hz));
   for (std::uint64_t i = 0; i < ticks; ++i) step();
+}
+
+void AdsPipeline::run_until(double seconds) {
+  const auto end_tick =
+      static_cast<std::uint64_t>(std::llround(seconds * config_.base_hz));
+  while (scheduler_.tick() < end_tick) step();
+}
+
+PipelineSnapshot AdsPipeline::snapshot() const {
+  PipelineSnapshot snap;
+  snap.scene_index = scenes_.empty() ? 0 : scenes_.size() - 1;
+  snap.t = scheduler_.now();
+  snap.scheduler = scheduler_.snapshot();
+  snap.world = world_.snapshot();
+  snap.rng = rng_.state();
+  snap.arch = arch_.snapshot();
+  snap.gps = gps_.snapshot();
+  snap.imu = imu_.snapshot();
+  snap.detections = detections_.snapshot();
+  snap.localization = localization_.snapshot();
+  snap.world_model = world_model_.snapshot();
+  snap.plan = plan_.snapshot();
+  snap.control = control_.snapshot();
+  snap.ekf = ekf_.snapshot();
+  snap.tracker = tracker_.snapshot();
+  snap.pid = pid_.snapshot();
+  snap.watchdog = watchdog_.snapshot();
+  snap.object_sensor = config_.object_sensor;
+  snap.hung_modules = hung_modules_;
+  snap.last_primary_control_time = last_primary_control_time_;
+  return snap;
+}
+
+void AdsPipeline::restore(const PipelineSnapshot& snap) {
+  scheduler_.restore(snap.scheduler);
+  world_.restore(snap.world);
+  rng_.set_state(snap.rng);
+  arch_.restore(snap.arch);
+  gps_.restore(snap.gps);
+  imu_.restore(snap.imu);
+  detections_.restore(snap.detections);
+  localization_.restore(snap.localization);
+  world_model_.restore(snap.world_model);
+  plan_.restore(snap.plan);
+  control_.restore(snap.control);
+  ekf_.restore(snap.ekf);
+  tracker_.restore(snap.tracker);
+  pid_.restore(snap.pid);
+  watchdog_.restore(snap.watchdog);
+  config_.object_sensor = snap.object_sensor;
+  hung_modules_ = snap.hung_modules;
+  last_primary_control_time_ = snap.last_primary_control_time;
+}
+
+namespace {
+
+// Bit-exact channel-vs-snapshot comparison via the per-message bits_equal
+// overloads; no copies, short-circuits on the cheap fields first.
+template <typename T>
+bool channel_matches(const runtime::Channel<T>& channel,
+                     const typename runtime::Channel<T>::Snapshot& snap) {
+  if (channel.sequence() != snap.sequence) return false;
+  if (!util::bits_equal(channel.last_publish_time(), snap.last_publish_time))
+    return false;
+  if (channel.has_message() != snap.latest.has_value()) return false;
+  return !channel.has_message() || bits_equal(channel.latest(), *snap.latest);
+}
+
+}  // namespace
+
+bool AdsPipeline::state_matches(const PipelineSnapshot& snap) const {
+  // Cheap scalars first, then the world (diverged runs differ there almost
+  // always), then module filters and the bulky channels.
+  return scheduler_.state_equals(snap.scheduler) &&
+         util::bits_equal(last_primary_control_time_,
+                          snap.last_primary_control_time) &&
+         arch_.state_equals(snap.arch) && rng_.state_equals(snap.rng) &&
+         hung_modules_ == snap.hung_modules &&
+         bits_equal(config_.object_sensor, snap.object_sensor) &&
+         world_.state_equals(snap.world) && pid_.state_equals(snap.pid) &&
+         watchdog_.state_equals(snap.watchdog) &&
+         ekf_.state_equals(snap.ekf) && tracker_.state_equals(snap.tracker) &&
+         channel_matches(gps_, snap.gps) && channel_matches(imu_, snap.imu) &&
+         channel_matches(detections_, snap.detections) &&
+         channel_matches(localization_, snap.localization) &&
+         channel_matches(world_model_, snap.world_model) &&
+         channel_matches(plan_, snap.plan) &&
+         channel_matches(control_, snap.control);
+}
+
+bool AdsPipeline::faults_quiescent() const {
+  if (!bit_faults_.empty()) {
+    // bit_fault_done_ is lazily sized by apply_bit_faults; a smaller
+    // vector means some fault has not even been considered yet.
+    if (bit_fault_done_.size() < bit_faults_.size()) return false;
+    if (!std::all_of(bit_fault_done_.begin(), bit_fault_done_.end(),
+                     [](bool done) { return done; }))
+      return false;
+  }
+  const double t = scheduler_.now();
+  for (const auto& fault : value_faults_)
+    if (!(t > fault.start_time + fault.hold_duration)) return false;
+  return true;
+}
+
+void AdsPipeline::preload_scene_prefix(const std::vector<SceneRecord>& golden,
+                                       std::size_t count) {
+  assert(count <= golden.size());
+  scenes_.assign(golden.begin(),
+                 golden.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(count, golden.size())));
+}
+
+void AdsPipeline::splice_golden_tail(const std::vector<SceneRecord>& golden,
+                                     std::size_t from) {
+  if (from >= golden.size()) return;
+  scenes_.insert(scenes_.end(),
+                 golden.begin() + static_cast<std::ptrdiff_t>(from),
+                 golden.end());
 }
 
 SafetyPotential AdsPipeline::believed_safety_potential() const {

@@ -88,6 +88,8 @@ struct SceneRecord {
   bool collided = false;
   bool off_road = false;
   bool any_module_hung = false;
+
+  bool operator==(const SceneRecord&) const = default;
 };
 
 // Names of the BN variables in SceneRecord, in a fixed order used by the
@@ -113,6 +115,45 @@ struct BitFault {
   std::uint64_t instruction_index = 0;
 };
 
+// Complete simulation state of a pipeline + its world at one base tick:
+// every module's state, every channel, the scheduler, the sensor-noise RNG
+// stream, the architectural instruction counter, and the world. Golden
+// runs record these at a configurable scene stride; forked replays restore
+// the nearest checkpoint at-or-before the injection instead of
+// re-simulating the prefix, and splice the golden tail once the faulty
+// state reconverges bit-exactly.
+//
+// Deliberately NOT captured: the armed fault lists and the fault-injection
+// RNG stream (they are the injected run's identity, not simulated state --
+// a golden run never consumes them), and the scene log (it is the run's
+// output, handled separately via preload_scene_prefix/splice_golden_tail).
+struct PipelineSnapshot {
+  std::size_t scene_index = 0;  // scene recorded during the captured tick
+  double t = 0.0;               // scheduler time AFTER the captured tick
+  runtime::Scheduler::Snapshot scheduler;
+  sim::World::Snapshot world;
+  util::RngState rng;  // sensor-noise stream
+  hw::ArchState::Snapshot arch;
+  runtime::Channel<GpsMsg>::Snapshot gps;
+  runtime::Channel<ImuMsg>::Snapshot imu;
+  runtime::Channel<DetectionMsg>::Snapshot detections;
+  runtime::Channel<LocalizationMsg>::Snapshot localization;
+  runtime::Channel<WorldModelMsg>::Snapshot world_model;
+  runtime::Channel<PlanMsg>::Snapshot plan;
+  runtime::Channel<ControlMsg>::Snapshot control;
+  LocalizationEkf::Snapshot ekf;
+  ObjectTracker::Snapshot tracker;
+  PidController::Snapshot pid;
+  Watchdog::Snapshot watchdog;
+  // "perception.range" is a registered fault target that writes live
+  // config, so the object-sensor config is runtime state.
+  ObjectSensorConfig object_sensor;
+  std::set<std::string> hung_modules;
+  double last_primary_control_time = -1.0;
+
+  bool operator==(const PipelineSnapshot&) const = default;
+};
+
 class AdsPipeline {
  public:
   AdsPipeline(sim::World& world, const PipelineConfig& config);
@@ -121,7 +162,48 @@ class AdsPipeline {
   // applied, then the world integrates the current actuation.
   void step();
   void run_for(double seconds);
+  // Step until the scheduler reaches `seconds` of absolute simulation time
+  // (no-op if already past); the resume half of checkpoint/restore.
+  void run_until(double seconds);
   double now() const { return scheduler_.now(); }
+  std::uint64_t tick() const { return scheduler_.tick(); }
+
+  // --- Checkpointing (fork-from-golden replay) ---
+
+  // Captures / restores the complete simulation state. restore() requires
+  // a pipeline built over the same scenario and configuration; armed
+  // faults, the fault RNG stream, and the scene log are left untouched.
+  PipelineSnapshot snapshot() const;
+  void restore(const PipelineSnapshot& snap);
+  // Allocation-free bit-exact comparison of the live state against a
+  // checkpoint; true means the two states share their entire future (the
+  // golden-tail splice criterion).
+  bool state_matches(const PipelineSnapshot& snap) const;
+  // True when no armed fault can fire or assert again: every bit fault has
+  // been injected and every value fault's hold window lies in the past.
+  // Only then can a state match against golden imply an identical tail.
+  bool faults_quiescent() const;
+
+  // --- Scene-log storage (allocation-free replay loops) ---
+
+  // Pre-sizes the scene log (compute the expected count from duration and
+  // scene_hz); the replay hot loop never reallocates after this.
+  void reserve_scenes(std::size_t expected) { scenes_.reserve(expected); }
+  // Recycles a scratch buffer as the scene log: contents are cleared,
+  // capacity is kept (per-thread reuse across campaign runs).
+  void adopt_scene_log(std::vector<SceneRecord>&& storage) {
+    scenes_ = std::move(storage);
+    scenes_.clear();
+  }
+  std::vector<SceneRecord> release_scenes() { return std::move(scenes_); }
+  // Forked replays inherit the golden prefix they skipped: the first
+  // `count` golden records become this run's log up to the checkpoint.
+  void preload_scene_prefix(const std::vector<SceneRecord>& golden,
+                            std::size_t count);
+  // Splices the golden tail (records [from, end)) into the log in place of
+  // simulating it; only valid right after state_matches() succeeded.
+  void splice_golden_tail(const std::vector<SceneRecord>& golden,
+                          std::size_t from);
 
   // Fault interface.
   runtime::FaultRegistry& fault_registry() { return registry_; }

@@ -32,7 +32,13 @@ struct PlannerConfig {
   // max_plan_decel; below it, the time-headway policy alone is smoother.
   double braking_urgency_fraction = 0.3;
   double braking_margin = 1.2;  // safety factor on the required decel
+
+  bool operator==(const PlannerConfig&) const = default;
 };
+
+// plan() is a pure function of its arguments: the planner carries no
+// mutable state, so pipeline snapshots capture only its inputs (channels)
+// and this config.
 
 // One planning cycle. `lane_center_y` is the ego-lane center from the map.
 PlanMsg plan(const LocalizationMsg& ego, const WorldModelMsg& world,

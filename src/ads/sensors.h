@@ -11,15 +11,23 @@
 
 namespace drivefi::ads {
 
+// The sensor models are pure functions of (world, config, RNG stream):
+// snapshotting a sensor is snapshotting its Rng (util::RngState) plus the
+// config below -- `ObjectSensorConfig::range` is a live fault target
+// ("perception.range"), so it is runtime state, not just configuration.
 struct GpsNoise {
   double position_sigma = 0.4;  // m
   double heading_sigma = 0.01;  // rad
+
+  bool operator==(const GpsNoise&) const = default;
 };
 
 struct ImuNoise {
   double accel_sigma = 0.05;
   double yaw_rate_sigma = 0.002;
   double speed_sigma = 0.1;
+
+  bool operator==(const ImuNoise&) const = default;
 };
 
 struct ObjectSensorConfig {
@@ -28,7 +36,21 @@ struct ObjectSensorConfig {
   double speed_sigma = 0.3;
   bool model_occlusion = true;
   double dropout_probability = 0.01;  // per-object per-frame miss
+
+  bool operator==(const ObjectSensorConfig&) const = default;
 };
+
+// Bit-exact comparison: `range` is writable by injected faults, so it can
+// carry NaN or signed-zero payloads that operator== mishandles.
+inline bool bits_equal(const ObjectSensorConfig& a,
+                       const ObjectSensorConfig& b) {
+  using util::bits_equal;
+  return bits_equal(a.range, b.range) &&
+         bits_equal(a.position_sigma, b.position_sigma) &&
+         bits_equal(a.speed_sigma, b.speed_sigma) &&
+         a.model_occlusion == b.model_occlusion &&
+         bits_equal(a.dropout_probability, b.dropout_probability);
+}
 
 GpsMsg sense_gps(const sim::World& world, const GpsNoise& noise,
                  util::Rng& rng);

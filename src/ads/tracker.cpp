@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/bits.h"
+
 namespace drivefi::ads {
 
 using util::Matrix;
@@ -15,6 +17,23 @@ void ObjectTracker::reset() {
   tracks_.clear();
   next_id_ = 1;
   last_time_ = -1.0;
+}
+
+bool ObjectTracker::state_equals(const Snapshot& snap) const {
+  using util::bits_equal;
+  if (next_id_ != snap.next_id || !bits_equal(last_time_, snap.last_time) ||
+      tracks_.size() != snap.tracks.size())
+    return false;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const Track& a = tracks_[i];
+    const Track& b = snap.tracks[i];
+    if (a.id != b.id || a.hits != b.hits || a.misses != b.misses ||
+        !bits_equal(a.length, b.length) || !bits_equal(a.width, b.width) ||
+        !bits_equal(a.last_update, b.last_update) ||
+        !bits_equal(a.state, b.state) || !bits_equal(a.cov, b.cov))
+      return false;
+  }
+  return true;
 }
 
 void ObjectTracker::predict(Track& track, double dt) const {

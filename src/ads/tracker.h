@@ -20,20 +20,12 @@ struct TrackerConfig {
   double process_sigma = 0.8;     // m/s^2-ish plant noise
   double measurement_sigma = 0.5;  // m
   double initial_speed_sigma = 4.0;
+
+  bool operator==(const TrackerConfig&) const = default;
 };
 
 class ObjectTracker {
  public:
-  explicit ObjectTracker(const TrackerConfig& config = {});
-
-  // One tracker frame: predict all tracks to `t`, associate detections,
-  // update/spawn/prune. Returns the confirmed tracks.
-  std::vector<TrackedObject> update(const DetectionMsg& detections, double t);
-
-  void reset();
-  std::size_t live_track_count() const { return tracks_.size(); }
-
- private:
   struct Track {
     int id;
     util::Vector state = util::Vector(4);  // [x, y, vx, vy]
@@ -43,8 +35,39 @@ class ObjectTracker {
     double length = 4.8;
     double width = 1.9;
     double last_update = 0.0;
+
+    bool operator==(const Track&) const = default;
   };
 
+  // Complete tracker state: live tracks (tentative and confirmed), the id
+  // allocator, and the last frame time.
+  struct Snapshot {
+    std::vector<Track> tracks;
+    int next_id = 1;
+    double last_time = -1.0;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  explicit ObjectTracker(const TrackerConfig& config = {});
+
+  Snapshot snapshot() const { return {tracks_, next_id_, last_time_}; }
+  void restore(const Snapshot& snap) {
+    tracks_ = snap.tracks;
+    next_id_ = snap.next_id;
+    last_time_ = snap.last_time;
+  }
+  // Bit-exact comparison against a snapshot (util/bits.h semantics).
+  bool state_equals(const Snapshot& snap) const;
+
+  // One tracker frame: predict all tracks to `t`, associate detections,
+  // update/spawn/prune. Returns the confirmed tracks.
+  std::vector<TrackedObject> update(const DetectionMsg& detections, double t);
+
+  void reset();
+  std::size_t live_track_count() const { return tracks_.size(); }
+
+ private:
   void predict(Track& track, double dt) const;
   void correct(Track& track, const Detection& det) const;
 

@@ -21,11 +21,34 @@ struct WatchdogConfig {
   double staleness_threshold = 0.1;  // s
   double brake_level = 0.6;          // pedal, maps to ~firm deceleration
   double steer_release_rate = 0.7;   // rad/s toward zero
+
+  bool operator==(const WatchdogConfig&) const = default;
 };
 
 class Watchdog {
  public:
+  // Complete watchdog state: the latch and the steering it is releasing.
+  struct Snapshot {
+    bool engaged = false;
+    double engaged_at = -1.0;
+    double steering = 0.0;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
   explicit Watchdog(const WatchdogConfig& config = {});
+
+  Snapshot snapshot() const { return {engaged_, engaged_at_, steering_}; }
+  void restore(const Snapshot& snap) {
+    engaged_ = snap.engaged;
+    engaged_at_ = snap.engaged_at;
+    steering_ = snap.steering;
+  }
+  bool state_equals(const Snapshot& snap) const {
+    return engaged_ == snap.engaged &&
+           util::bits_equal(engaged_at_, snap.engaged_at) &&
+           util::bits_equal(steering_, snap.steering);
+  }
 
   // One monitoring cycle. `control_age` is the age of the newest control
   // command, `last_steering` the steering currently applied. Returns the

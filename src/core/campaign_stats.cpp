@@ -1,5 +1,7 @@
 #include "core/campaign_stats.h"
 
+#include <sstream>
+
 namespace drivefi::core {
 
 void CampaignStats::add(const InjectionRecord& record) {
@@ -19,6 +21,21 @@ void CampaignStats::add(const InjectionRecord& record) {
       hazard_scenes.insert({record.scenario_index, record.scene_index});
       break;
   }
+}
+
+std::string campaign_fingerprint(const CampaignStats& stats) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "masked=" << stats.masked << " sdc=" << stats.sdc_benign
+      << " hang=" << stats.hang << " hazard=" << stats.hazard << "\n";
+  for (const auto& [scenario, scene] : stats.hazard_scenes)
+    out << "hazard_scene " << scenario << ":" << scene << "\n";
+  for (const auto& r : stats.records) {
+    out << r.run_index << "|" << r.description << "|" << r.scenario_index
+        << "|" << r.scene_index << "|" << static_cast<int>(r.outcome) << "|"
+        << r.min_delta_lon << "|" << r.max_actuation_divergence << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace drivefi::core

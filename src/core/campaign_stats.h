@@ -40,4 +40,12 @@ struct CampaignStats {
   void add(const InjectionRecord& record);
 };
 
+// Serializes everything except wall_seconds (the only legitimately
+// non-deterministic field), with exact bit patterns for the doubles.
+// Two campaigns are bit-identical iff their fingerprints compare equal;
+// the determinism tests and the forked-vs-full divergence gates in the
+// benches all share this one definition so a new record field cannot
+// silently weaken some of them.
+std::string campaign_fingerprint(const CampaignStats& stats);
+
 }  // namespace drivefi::core

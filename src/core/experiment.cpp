@@ -1,11 +1,32 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "core/fault_model.h"
 
 namespace drivefi::core {
+
+namespace {
+
+// Per-thread scene-log storage, recycled across the runs a campaign
+// worker executes so the replay hot loop allocates nothing after the
+// first run on each thread warms the buffer up.
+thread_local std::vector<ads::SceneRecord> t_scene_scratch;
+
+// A stride of 0 with forking on would record no checkpoints yet claim to
+// fork; normalize it to per-scene checkpoints up front so options(),
+// forking_enabled(), and the golden suite all agree.
+ExperimentOptions normalize(ExperimentOptions options) {
+  if (options.fork_replays && options.checkpoint_stride == 0)
+    options.checkpoint_stride = 1;
+  return options;
+}
+
+}  // namespace
 
 Experiment::Experiment(std::vector<sim::Scenario> scenarios,
                        ads::PipelineConfig pipeline_config,
@@ -14,14 +35,35 @@ Experiment::Experiment(std::vector<sim::Scenario> scenarios,
     : scenarios_(std::move(scenarios)),
       pipeline_config_(pipeline_config),
       classifier_config_(classifier_config),
-      options_(options),
-      goldens_(run_golden_suite(scenarios_, pipeline_config_)) {}
+      options_(normalize(options)),
+      goldens_(run_golden_suite(
+          scenarios_, pipeline_config_,
+          options_.fork_replays ? options_.checkpoint_stride : 0)) {}
 
 double Experiment::mean_run_wall_seconds() const {
   if (goldens_.empty()) return 0.0;
   double total = 0.0;
   for (const auto& trace : goldens_) total += trace.wall_seconds;
   return total / static_cast<double>(goldens_.size());
+}
+
+double Experiment::median_run_wall_seconds() const {
+  if (goldens_.empty()) return 0.0;
+  std::vector<double> walls;
+  walls.reserve(goldens_.size());
+  for (const auto& trace : goldens_) walls.push_back(trace.wall_seconds);
+  std::sort(walls.begin(), walls.end());
+  const std::size_t n = walls.size();
+  return n % 2 == 1 ? walls[n / 2]
+                    : 0.5 * (walls[n / 2 - 1] + walls[n / 2]);
+}
+
+double Experiment::mean_forked_run_wall_seconds() const {
+  const std::uint64_t runs = forked_runs_.load(std::memory_order_relaxed);
+  if (runs == 0) return 0.0;
+  const std::uint64_t nanos =
+      forked_wall_nanos_.load(std::memory_order_relaxed);
+  return static_cast<double>(nanos) * 1e-9 / static_cast<double>(runs);
 }
 
 CampaignStats Experiment::run(const FaultModel& model,
@@ -38,6 +80,7 @@ CampaignStats Experiment::run(const FaultModel& model,
   for (ResultSink* sink : sinks) model.describe(*sink);
 
   CampaignStats stats;
+  stats.records.reserve(n);
   const ParallelExecutor executor(options_.executor);
   executor.run_ordered<InjectionRecord>(
       n, [&](std::size_t i) { return execute(model.spec(i, *this)); },
@@ -88,6 +131,73 @@ InjectionRecord Experiment::execute(const RunSpec& spec) const {
   return record;
 }
 
+RunResult Experiment::run_replay(const sim::Scenario& scenario,
+                                 const GoldenTrace& golden,
+                                 ads::AdsPipeline& pipeline,
+                                 const ads::PipelineSnapshot* fork_from) const {
+  const bool fork = forking_enabled() && golden.checkpoint_stride > 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Recycle this worker thread's scene storage and pre-size it: the
+  // replay loop below must never touch the allocator.
+  pipeline.adopt_scene_log(std::move(t_scene_scratch));
+  const std::size_t expected =
+      expected_scene_records(scenario.duration, pipeline_config_);
+  pipeline.reserve_scenes(std::max(expected, golden.scenes.size()));
+  [[maybe_unused]] const std::size_t reserved_capacity =
+      pipeline.scenes().capacity();
+
+  if (fork && fork_from != nullptr) {
+    // Fork: resume from the golden checkpoint instead of re-simulating
+    // the bit-identical prefix (same noise seed, fault still unarmed).
+    pipeline.restore(*fork_from);
+    pipeline.preload_scene_prefix(golden.scenes, fork_from->scene_index + 1);
+  }
+
+  const auto total_ticks = static_cast<std::uint64_t>(
+      std::llround(scenario.duration * pipeline_config_.base_hz));
+  bool spliced = false;
+  while (pipeline.tick() < total_ticks) {
+    const std::size_t scenes_before = pipeline.scenes().size();
+    pipeline.step();
+    if (!fork || spliced || pipeline.scenes().size() == scenes_before)
+      continue;
+
+    // A scene frame just closed. If the fault window is over and the
+    // faulty state is bit-equal to the golden checkpoint at this scene,
+    // every remaining tick would replay the golden run -- splice its tail
+    // instead of simulating it (this also decides kMasked exactly and
+    // early: a spliced run can never diverge later).
+    const std::size_t scene = pipeline.scenes().size() - 1;
+    if (scene % golden.checkpoint_stride != 0) continue;
+    const std::size_t k = scene / golden.checkpoint_stride;
+    if (k >= golden.checkpoints.size()) continue;
+    if (!pipeline.faults_quiescent()) continue;
+    if (!pipeline.state_matches(golden.checkpoints[k])) continue;
+    pipeline.splice_golden_tail(golden.scenes, scene + 1);
+    spliced = true;
+    break;
+  }
+  assert(pipeline.scenes().capacity() == reserved_capacity &&
+         "replay scene log reallocated despite reserve");
+
+  const RunResult result =
+      classify_run(golden.scenes, pipeline.scenes(),
+                   pipeline.any_module_hung(), classifier_config_);
+  t_scene_scratch = pipeline.release_scenes();
+
+  if (fork) {
+    const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    forked_runs_.fetch_add(1, std::memory_order_relaxed);
+    forked_wall_nanos_.fetch_add(static_cast<std::uint64_t>(nanos),
+                                 std::memory_order_relaxed);
+    if (spliced) spliced_runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
 RunResult Experiment::replay_value_fault(const CandidateFault& fault,
                                          double hold_seconds) const {
   const sim::Scenario& scenario = scenarios_.at(fault.scenario_index);
@@ -103,9 +213,8 @@ RunResult Experiment::replay_value_fault(const CandidateFault& fault,
   vf.hold_duration = hold_seconds;
   pipeline.arm_value_fault(vf);
 
-  pipeline.run_for(scenario.duration);
-  return classify_run(golden.scenes, pipeline.scenes(),
-                      pipeline.any_module_hung(), classifier_config_);
+  return run_replay(scenario, golden, pipeline,
+                    golden.checkpoint_before_time(fault.inject_time));
 }
 
 RunResult Experiment::replay_bit_fault(std::size_t scenario_index,
@@ -118,7 +227,8 @@ RunResult Experiment::replay_bit_fault(std::size_t scenario_index,
 
   // The sensor-noise seed stays identical to the golden run so the
   // injected run is its exact counterfactual twin; only the bit-position
-  // stream is per-run.
+  // stream is per-run. Restoring a golden checkpoint leaves that per-run
+  // stream untouched (PipelineSnapshot does not capture it).
   ads::PipelineConfig config = pipeline_config_;
   config.fault_seed = fault_seed;
 
@@ -131,9 +241,8 @@ RunResult Experiment::replay_bit_fault(std::size_t scenario_index,
   bf.instruction_index = instruction_index;
   pipeline.arm_bit_fault(bf);
 
-  pipeline.run_for(scenario.duration);
-  return classify_run(golden.scenes, pipeline.scenes(),
-                      pipeline.any_module_hung(), classifier_config_);
+  return run_replay(scenario, golden, pipeline,
+                    golden.checkpoint_before_instruction(instruction_index));
 }
 
 }  // namespace drivefi::core

@@ -5,6 +5,16 @@
 // ParallelExecutor replays them against the goldens concurrently, and the
 // classified records stream to ResultSinks in run-index order.
 //
+// Replays fork from the golden twin instead of re-simulating it: golden
+// runs checkpoint the full pipeline state every `checkpoint_stride`
+// scenes, a replay restores the nearest checkpoint before its injection,
+// and once the fault window has passed and the faulty state compares
+// bit-equal to the golden checkpoint at the same scene the golden tail is
+// spliced in instead of simulated. Forked replays are bit-identical to
+// full replays -- records, stats, and JSONL output are byte-equal with
+// forking on or off, at any thread count and any stride (enforced by
+// tests/determinism_test.cpp).
+//
 // Determinism: per-run randomness derives from (campaign seed, run index)
 // via splitmix64, golden traces are computed once up front, and every
 // replay constructs its own World/AdsPipeline -- so Experiment is const
@@ -12,6 +22,7 @@
 // bit-identical at any thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,6 +47,15 @@ struct ExperimentOptions {
   // model).
   double hold_scenes = 2.0;
   ExecutorConfig executor;
+
+  // Fork-from-golden replay. `checkpoint_stride` (scenes between golden
+  // checkpoints) is the memory/speed knob: stride 1 forks closest to the
+  // injection but stores one full PipelineSnapshot per scene; larger
+  // strides re-simulate up to stride-1 scenes of prefix per replay and
+  // delay the earliest possible golden-tail splice, but divide checkpoint
+  // memory by the stride. Forking never changes results -- only cost.
+  bool fork_replays = true;
+  std::size_t checkpoint_stride = 4;
 };
 
 class Experiment {
@@ -51,6 +71,9 @@ class Experiment {
   const std::vector<GoldenTrace>& goldens() const { return goldens_; }
   const ads::PipelineConfig& pipeline_config() const { return pipeline_config_; }
   const ExperimentOptions& options() const { return options_; }
+  bool forking_enabled() const {
+    return options_.fork_replays && options_.checkpoint_stride > 0;
+  }
 
   double hold_scenes() const { return options_.hold_scenes; }
   double targeted_hold_seconds() const {
@@ -60,9 +83,25 @@ class Experiment {
     return 1.0 / pipeline_config_.control_hz;
   }
 
-  // Average wall-clock seconds per full-simulation run, measured from the
-  // golden runs (used by the E1 exhaustive-cost model).
+  // Wall-clock cost of one FULL simulation run, measured from the golden
+  // runs on the steady clock (used by the E1 exhaustive-cost model). The
+  // median is robust to first-run warmup effects.
   double mean_run_wall_seconds() const;
+  double median_run_wall_seconds() const;
+
+  // Wall-clock cost of one FORKED replay, measured over every replay this
+  // engine has executed with forking enabled (0 until the first such
+  // replay). The forked counterpart of mean_run_wall_seconds, so cost
+  // models can report both sides of the optimization.
+  double mean_forked_run_wall_seconds() const;
+  std::size_t forked_runs_executed() const {
+    return forked_runs_.load(std::memory_order_relaxed);
+  }
+  // How many of those replays ended in a golden-tail splice (the faulty
+  // state reconverged bit-exactly before the scenario ended).
+  std::size_t spliced_runs_executed() const {
+    return spliced_runs_.load(std::memory_order_relaxed);
+  }
 
   // Execute one campaign: every spec of the model, in parallel, delivered
   // to the sinks in run-index order. Returns the aggregate stats.
@@ -82,11 +121,25 @@ class Experiment {
                              std::uint64_t fault_seed) const;
 
  private:
+  // Shared replay driver: optionally restores `fork_from` (a golden
+  // checkpoint), simulates the remainder, and splices the golden tail as
+  // soon as the faulty state reconverges bit-exactly. The scene log lives
+  // in a recycled per-thread scratch buffer and never reallocates.
+  RunResult run_replay(const sim::Scenario& scenario, const GoldenTrace& golden,
+                       ads::AdsPipeline& pipeline,
+                       const ads::PipelineSnapshot* fork_from) const;
+
   std::vector<sim::Scenario> scenarios_;
   ads::PipelineConfig pipeline_config_;
   ClassifierConfig classifier_config_;
   ExperimentOptions options_;
   std::vector<GoldenTrace> goldens_;
+
+  // Forked-replay cost accounting (relaxed atomics: counters only, never
+  // part of campaign results, so they cannot perturb determinism).
+  mutable std::atomic<std::uint64_t> forked_runs_{0};
+  mutable std::atomic<std::uint64_t> forked_wall_nanos_{0};
+  mutable std::atomic<std::uint64_t> spliced_runs_{0};
 };
 
 }  // namespace drivefi::core

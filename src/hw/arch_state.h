@@ -42,6 +42,21 @@ struct InjectionResult {
 
 class ArchState {
  public:
+  // Mutable architectural state. The register file itself is a view over
+  // live ADS variables (captured by the pipeline's channel snapshots), so
+  // the only state owned here is the dynamic instruction counter.
+  struct Snapshot {
+    std::uint64_t instructions_retired = 0;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  Snapshot snapshot() const { return {instructions_}; }
+  void restore(const Snapshot& snap) { instructions_ = snap.instructions_retired; }
+  bool state_equals(const Snapshot& snap) const {
+    return instructions_ == snap.instructions_retired;
+  }
+
   void bind(BoundRegister reg);
   std::size_t register_count() const { return registers_.size(); }
   const BoundRegister& reg(std::size_t i) const { return registers_[i]; }

@@ -16,6 +16,8 @@ struct VehicleState {
   double v = 0.0;      // m/s, forward speed (>= 0)
   double phi = 0.0;    // rad, steering angle
   double a = 0.0;      // m/s^2, current longitudinal acceleration
+
+  bool operator==(const VehicleState&) const = default;
 };
 
 // Actuation command applied to the vehicle (paper's A_t = {throttle zeta,

@@ -17,9 +17,29 @@ namespace drivefi::runtime {
 template <typename T>
 class Channel {
  public:
+  // Complete mutable state of a channel: the latest message plus the
+  // publish bookkeeping. Snapshot/restore round-trips resume the channel
+  // exactly (age(), sequence() and consumers all see the same history),
+  // which is what forked replays restore from golden checkpoints.
+  struct Snapshot {
+    std::optional<T> latest;
+    std::uint64_t sequence = 0;
+    double last_publish_time = -1.0;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
   explicit Channel(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
+
+  Snapshot snapshot() const { return {latest_, sequence_, last_publish_time_}; }
+
+  void restore(const Snapshot& snap) {
+    latest_ = snap.latest;
+    sequence_ = snap.sequence;
+    last_publish_time_ = snap.last_publish_time;
+  }
 
   void publish(T message, double now) {
     if (hook_) hook_(message, now);

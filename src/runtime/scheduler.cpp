@@ -1,9 +1,35 @@
 #include "runtime/scheduler.h"
 
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 namespace drivefi::runtime {
+
+Scheduler::Snapshot Scheduler::snapshot() const {
+  Snapshot snap;
+  snap.tick = tick_;
+  snap.enabled.reserve(entries_.size());
+  for (const auto& e : entries_)
+    snap.enabled.push_back(e.enabled ? 1 : 0);
+  return snap;
+}
+
+void Scheduler::restore(const Snapshot& snap) {
+  assert(snap.enabled.size() == entries_.size() &&
+         "Scheduler::restore: module registrations differ from snapshot");
+  tick_ = snap.tick;
+  for (std::size_t i = 0; i < entries_.size() && i < snap.enabled.size(); ++i)
+    entries_[i].enabled = snap.enabled[i] != 0;
+}
+
+bool Scheduler::state_equals(const Snapshot& snap) const {
+  if (tick_ != snap.tick || snap.enabled.size() != entries_.size())
+    return false;
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].enabled != (snap.enabled[i] != 0)) return false;
+  return true;
+}
 
 void Scheduler::add_module(const std::string& name, double rate_hz,
                            std::function<void(double)> tick_fn) {

@@ -15,7 +15,23 @@ namespace drivefi::runtime {
 
 class Scheduler {
  public:
+  // Mutable scheduler state: the tick counter and per-module enable flags
+  // (by registration index). The module list and rates are configuration,
+  // not state -- a snapshot only restores into a scheduler with the same
+  // registrations.
+  struct Snapshot {
+    std::uint64_t tick = 0;
+    std::vector<std::uint8_t> enabled;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
   explicit Scheduler(double base_hz = 120.0) : base_hz_(base_hz) {}
+
+  Snapshot snapshot() const;
+  // Requires the same module registrations as at snapshot time (asserted).
+  void restore(const Snapshot& snap);
+  bool state_equals(const Snapshot& snap) const;
 
   double base_hz() const { return base_hz_; }
   double dt() const { return 1.0 / base_hz_; }

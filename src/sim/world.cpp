@@ -1,7 +1,10 @@
 #include "sim/world.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "util/bits.h"
 
 namespace drivefi::sim {
 
@@ -36,6 +39,61 @@ World::World(const WorldConfig& config) : config_(config) {
     vehicles_.push_back(tv);
   }
   evaluate_status();
+}
+
+World::Snapshot World::snapshot() const {
+  Snapshot snap;
+  snap.time = time_;
+  snap.ego = ego_;
+  snap.vehicles.reserve(vehicles_.size());
+  for (const auto& tv : vehicles_)
+    snap.vehicles.push_back({tv.x, tv.y, tv.v, tv.heading, tv.active_phase,
+                             tv.lane_change_start_time,
+                             tv.lane_change_start_y});
+  snap.status = status_;
+  return snap;
+}
+
+void World::restore(const Snapshot& snap) {
+  assert(snap.vehicles.size() == vehicles_.size() &&
+         "World::restore: snapshot is from a different scenario");
+  time_ = snap.time;
+  ego_ = snap.ego;
+  for (std::size_t i = 0; i < vehicles_.size() && i < snap.vehicles.size();
+       ++i) {
+    const TvDynamicState& s = snap.vehicles[i];
+    TargetVehicle& tv = vehicles_[i];
+    tv.x = s.x;
+    tv.y = s.y;
+    tv.v = s.v;
+    tv.heading = s.heading;
+    tv.active_phase = s.active_phase;
+    tv.lane_change_start_time = s.lane_change_start_time;
+    tv.lane_change_start_y = s.lane_change_start_y;
+  }
+  status_ = snap.status;
+}
+
+bool World::state_equals(const Snapshot& snap) const {
+  using util::bits_equal;
+  if (snap.vehicles.size() != vehicles_.size()) return false;
+  if (!bits_equal(time_, snap.time)) return false;
+  const kinematics::VehicleState& e = snap.ego;
+  if (!bits_equal(ego_.x, e.x) || !bits_equal(ego_.y, e.y) ||
+      !bits_equal(ego_.theta, e.theta) || !bits_equal(ego_.v, e.v) ||
+      !bits_equal(ego_.phi, e.phi) || !bits_equal(ego_.a, e.a))
+    return false;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const TargetVehicle& tv = vehicles_[i];
+    const TvDynamicState& s = snap.vehicles[i];
+    if (!bits_equal(tv.x, s.x) || !bits_equal(tv.y, s.y) ||
+        !bits_equal(tv.v, s.v) || !bits_equal(tv.heading, s.heading) ||
+        tv.active_phase != s.active_phase ||
+        !bits_equal(tv.lane_change_start_time, s.lane_change_start_time) ||
+        !bits_equal(tv.lane_change_start_y, s.lane_change_start_y))
+      return false;
+  }
+  return status_ == snap.status;
 }
 
 const WorldStatus& World::step(const Actuation& ego_actuation, double dt) {

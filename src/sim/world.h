@@ -91,11 +91,45 @@ struct WorldStatus {
   bool collided = false;
   bool off_road = false;
   std::optional<std::size_t> collided_with;  // TV index
+
+  bool operator==(const WorldStatus&) const = default;
+};
+
+// Dynamic (per-step) state of one target vehicle; the TvConfig part of a
+// TargetVehicle is configuration and never mutates during a run.
+struct TvDynamicState {
+  double x = 0.0;
+  double y = 0.0;
+  double v = 0.0;
+  double heading = 0.0;
+  int active_phase = -1;
+  double lane_change_start_time = -1.0;
+  double lane_change_start_y = 0.0;
+
+  bool operator==(const TvDynamicState&) const = default;
 };
 
 class World {
  public:
+  // Complete mutable world state: simulation clock, ego, per-TV dynamic
+  // state, and the sticky outcome flags. WorldConfig is not captured --
+  // restore() requires a World built from the same config (same TV count,
+  // asserted), which is how every replay of a scenario starts.
+  struct Snapshot {
+    double time = 0.0;
+    kinematics::VehicleState ego;
+    std::vector<TvDynamicState> vehicles;
+    WorldStatus status;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
   explicit World(const WorldConfig& config);
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+  // Bit-exact comparison against a snapshot (util/bits.h semantics).
+  bool state_equals(const Snapshot& snap) const;
 
   // Advance by dt with the given ego actuation. Returns the status after
   // the step (sticky: once collided, stays collided).

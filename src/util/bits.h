@@ -1,0 +1,28 @@
+// Bit-exact double comparison for simulation-state equality. The
+// fork-from-golden replay splices the golden tail only when the faulty
+// pipeline state would evolve IDENTICALLY to the golden from here on, and
+// future evolution is a deterministic function of the state's bits, not
+// its values: -0.0 == 0.0 under operator== yet feeds atan2/copysign
+// differently, and two equal-bit NaNs share a future even though NaN !=
+// NaN. So splice decisions compare representations, never values.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace drivefi::util {
+
+inline bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+inline bool bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!bits_equal(a[i], b[i])) return false;
+  return true;
+}
+
+}  // namespace drivefi::util

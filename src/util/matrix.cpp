@@ -1,6 +1,8 @@
 #include "util/matrix.h"
 
 #include <cassert>
+
+#include "util/bits.h"
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -48,6 +50,21 @@ std::string Vector::to_string() const {
   }
   os << "]";
   return os.str();
+}
+
+bool bits_equal(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!bits_equal(a[i], b[i])) return false;
+  return true;
+}
+
+bool bits_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (!bits_equal(a(r, c), b(r, c))) return false;
+  return true;
 }
 
 Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }

@@ -23,6 +23,8 @@ class Vector {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  bool operator==(const Vector&) const = default;
+
   Vector& operator+=(const Vector& rhs);
   Vector& operator-=(const Vector& rhs);
   Vector& operator*=(double s);
@@ -62,6 +64,8 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  bool operator==(const Matrix&) const = default;
+
   Matrix transposed() const;
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);
@@ -85,6 +89,12 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+// Bit-exact equality (see util/bits.h): used by snapshot comparisons that
+// gate golden-tail splicing, where representation identity -- not value
+// equality -- decides whether two states share a future.
+bool bits_equal(const Vector& a, const Vector& b);
+bool bits_equal(const Matrix& a, const Matrix& b);
 
 Matrix operator+(Matrix lhs, const Matrix& rhs);
 Matrix operator-(Matrix lhs, const Matrix& rhs);

@@ -3,9 +3,12 @@
 // Rng so that a campaign is reproducible from its seed.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+
+#include "util/bits.h"
 
 namespace drivefi::util {
 
@@ -30,6 +33,23 @@ inline std::uint64_t derive_run_seed(std::uint64_t campaign_seed,
   return splitmix64_next(state);
 }
 
+// Complete state of an Rng stream: the xoshiro256** words plus the
+// Marsaglia spare-gaussian cache. Capturing it mid-stream and restoring
+// it later resumes the exact output sequence, which is what lets a forked
+// replay reproduce the golden run's sensor noise bit-for-bit.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool has_spare_gaussian = false;
+  double spare_gaussian = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
+
+inline bool bits_equal(const RngState& a, const RngState& b) {
+  return a.words == b.words && a.has_spare_gaussian == b.has_spare_gaussian &&
+         bits_equal(a.spare_gaussian, b.spare_gaussian);
+}
+
 // xoshiro256** by Blackman & Vigna, seeded via splitmix64. Chosen over
 // std::mt19937 for speed and because its output sequence is identical
 // across standard-library implementations, which keeps campaign replays
@@ -43,6 +63,24 @@ class Rng {
     std::uint64_t x = seed;
     for (auto& word : state_) word = splitmix64_next(x);
     has_spare_gaussian_ = false;
+  }
+
+  RngState state() const {
+    return {{state_[0], state_[1], state_[2], state_[3]},
+            has_spare_gaussian_, spare_gaussian_};
+  }
+
+  void set_state(const RngState& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state.words[i];
+    has_spare_gaussian_ = state.has_spare_gaussian;
+    spare_gaussian_ = state.spare_gaussian;
+  }
+
+  bool state_equals(const RngState& state) const {
+    return state_[0] == state.words[0] && state_[1] == state.words[1] &&
+           state_[2] == state.words[2] && state_[3] == state.words[3] &&
+           has_spare_gaussian_ == state.has_spare_gaussian &&
+           bits_equal(spare_gaussian_, state.spare_gaussian);
   }
 
   std::uint64_t next_u64() {

@@ -29,21 +29,10 @@ std::vector<sim::Scenario> one_scenario_suite() {
   return {sim::base_suite()[1]};
 }
 
-// Serializes everything except wall_seconds (the only legitimately
-// non-deterministic field) with exact bit patterns for the doubles.
+// Everything except wall_seconds, with exact double bit patterns; shared
+// with the bench-side divergence gates (core/campaign_stats.h).
 std::string fingerprint(const CampaignStats& stats) {
-  std::ostringstream out;
-  out << std::hexfloat;
-  out << "masked=" << stats.masked << " sdc=" << stats.sdc_benign
-      << " hang=" << stats.hang << " hazard=" << stats.hazard << "\n";
-  for (const auto& [scenario, scene] : stats.hazard_scenes)
-    out << "hazard_scene " << scenario << ":" << scene << "\n";
-  for (const auto& r : stats.records) {
-    out << r.run_index << "|" << r.description << "|" << r.scenario_index
-        << "|" << r.scene_index << "|" << static_cast<int>(r.outcome) << "|"
-        << r.min_delta_lon << "|" << r.max_actuation_divergence << "\n";
-  }
-  return out.str();
+  return campaign_fingerprint(stats);
 }
 
 Experiment make_experiment(unsigned threads) {
@@ -142,6 +131,84 @@ TEST(Determinism, BayesianSelectionIdenticalAcrossThreadCounts) {
   odd.chunk = 17;
   EXPECT_EQ(base, selection_fingerprint(selector.select_critical_faults(
                       catalog, experiment.goldens(), odd)));
+}
+
+Experiment make_experiment_forked(unsigned threads, std::size_t stride) {
+  ExperimentOptions options;
+  options.executor.threads = threads;
+  options.fork_replays = true;
+  options.checkpoint_stride = stride;
+  return Experiment(one_scenario_suite(), test_pipeline_config(), {}, options);
+}
+
+Experiment make_experiment_full(unsigned threads) {
+  ExperimentOptions options;
+  options.executor.threads = threads;
+  options.fork_replays = false;
+  return Experiment(one_scenario_suite(), test_pipeline_config(), {}, options);
+}
+
+TEST(Determinism, ForkedReplayBitIdenticalToFullReplay) {
+  // The fork-from-golden contract is absolute: checkpoint restore and
+  // golden-tail splicing change COST only, never results. CampaignStats
+  // must be bit-identical with forking on or off, at every checkpoint
+  // stride and thread count, for randomized faults over random injection
+  // times (value campaign) and instruction indices (bit-flip campaign).
+  const RandomValueModel values(8, 2024);
+  const BitFlipModel bitflips(6, 99, /*bits=*/2);
+
+  const Experiment full = make_experiment_full(1);
+  const std::string value_base = fingerprint(full.run(values));
+  const std::string bit_base = fingerprint(full.run(bitflips));
+
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{16}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const Experiment forked = make_experiment_forked(threads, stride);
+      EXPECT_EQ(value_base, fingerprint(forked.run(values)))
+          << "value campaign diverged at stride " << stride << ", "
+          << threads << " threads";
+      EXPECT_EQ(bit_base, fingerprint(forked.run(bitflips)))
+          << "bit-flip campaign diverged at stride " << stride << ", "
+          << threads << " threads";
+      EXPECT_GT(forked.forked_runs_executed(), 0u);
+    }
+  }
+}
+
+// Drops every "wall_seconds" field (the only legitimately non-
+// deterministic JSONL payload; it is always the record's last field).
+std::string scrub_wall_seconds(std::string jsonl) {
+  const std::string key = ",\"wall_seconds\":";
+  std::size_t pos;
+  while ((pos = jsonl.find(key)) != std::string::npos) {
+    const std::size_t end = jsonl.find('}', pos);
+    jsonl.erase(pos, end - pos);
+  }
+  return jsonl;
+}
+
+TEST(Determinism, ForkedJsonlByteEqualToFullJsonl) {
+  const RandomValueModel model(8, 77);
+
+  const auto jsonl_of = [&](const Experiment& experiment) {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    std::vector<ResultSink*> sinks = {&sink};
+    experiment.run(model, sinks);
+    return scrub_wall_seconds(out.str());
+  };
+
+  const std::string base = jsonl_of(make_experiment_full(1));
+  EXPECT_FALSE(base.empty());
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{16}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(base, jsonl_of(make_experiment_forked(threads, stride)))
+          << "JSONL diverged at stride " << stride << ", " << threads
+          << " threads";
+    }
+  }
 }
 
 TEST(Determinism, ThreadCountDoesNotLeakIntoSpecs) {
