@@ -1,0 +1,219 @@
+// Measures the cost of durability: sharded + resumable campaigns versus
+// the in-memory single-process run, and enforces the contract that they
+// are bit-identical. Writes BENCH_shard_resume.json and exits nonzero if
+//   - any sharded/resumed campaign diverges from the baseline in any bit, or
+//   - (no-op resume scan + merge) exceeds `max_overhead_fraction` of the
+//     baseline campaign wall-clock (CI gates at the default 0.10).
+//
+//   ./bench_shard_resume [runs] [out.json] [max_overhead_fraction]
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "core/jsonl.h"
+#include "core/manifest.h"
+#include "core/result_sink.h"
+#include "core/result_store.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+namespace fs = std::filesystem;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string campaign_jsonl(const core::Experiment& experiment,
+                           const core::FaultModel& model) {
+  std::ostringstream out;
+  core::JsonlSink sink(out);
+  std::vector<core::ResultSink*> sinks = {&sink};
+  experiment.run(model, sinks);
+  return core::scrub_wall_seconds(out.str());
+}
+
+std::string merged_jsonl(const core::MergedCampaign& merged) {
+  std::ostringstream out;
+  core::write_merged_jsonl(merged, out);
+  return core::scrub_wall_seconds(out.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t runs = 48;
+  std::string json_path = "BENCH_shard_resume.json";
+  double max_overhead = 0.10;
+  if (argc > 1) runs = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) json_path = argv[2];
+  if (argc > 3) max_overhead = std::atof(argv[3]);
+
+  const fs::path dir = fs::temp_directory_path() / "drivefi_bench_shard";
+  fs::create_directories(dir);
+
+  const std::vector<sim::Scenario> suite = {sim::base_suite()[1],
+                                            sim::base_suite()[2]};
+  ads::PipelineConfig config;
+  config.seed = 11;
+  const core::Experiment experiment(suite, config, {}, {});
+  const core::RandomValueModel model(runs, 1234);
+
+  // ---- baseline: single process, single sitting, in memory ---------------
+  std::printf("baseline: %zu-run single-process campaign...\n", runs);
+  const core::CampaignStats baseline = experiment.run(model);
+  const std::string base_fp = core::campaign_fingerprint(baseline);
+  const std::string base_jsonl = campaign_jsonl(experiment, model);
+  std::printf("  %.3f s (%.1f runs/s)\n", baseline.wall_seconds,
+              static_cast<double>(runs) / baseline.wall_seconds);
+
+  bool all_identical = true;
+  std::ostringstream rows;
+
+  const auto shard_path = [&](std::size_t count, std::size_t i) {
+    return (dir / ("shard_" + std::to_string(count) + "_" +
+                   std::to_string(i) + ".jsonl"))
+        .string();
+  };
+  const auto manifest_for = [&](std::size_t count, std::size_t i) {
+    core::CampaignManifest manifest =
+        core::make_manifest(experiment, model, "bench:shard_resume");
+    manifest.shard_index = i;
+    manifest.shard_count = count;
+    return manifest;
+  };
+
+  // ---- sharded: N stores + merge, must be bit-identical ------------------
+  double merge_seconds_2 = 0.0;
+  for (const std::size_t count : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    std::vector<std::string> paths;
+    const auto shard_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < count; ++i) {
+      paths.push_back(shard_path(count, i));
+      core::ShardResultStore store(paths.back(), manifest_for(count, i),
+                                   core::StoreOpenMode::kOverwrite);
+      experiment.run_shard(model, store);
+    }
+    const double shard_wall = seconds_since(shard_start);
+
+    const auto merge_start = std::chrono::steady_clock::now();
+    const core::MergedCampaign merged = core::merge_shards(paths);
+    const double merge_wall = seconds_since(merge_start);
+    if (count == 2) merge_seconds_2 = merge_wall;
+
+    const bool identical = core::campaign_fingerprint(merged.stats) == base_fp &&
+                           merged_jsonl(merged) == base_jsonl;
+    all_identical = all_identical && identical;
+    std::printf("shards=%zu: run %.3f s, merge %.4f s (%.0f records/s), "
+                "identical=%s\n",
+                count, shard_wall, merge_wall,
+                static_cast<double>(runs) / merge_wall,
+                identical ? "true" : "false");
+    if (!rows.str().empty()) rows << ",";
+    rows << "\n    {\"count\": " << count << ", \"wall_seconds\": "
+         << shard_wall << ", \"merge_seconds\": " << merge_wall
+         << ", \"merge_records_per_second\": "
+         << static_cast<double>(runs) / merge_wall << ", \"identical\": "
+         << (identical ? "true" : "false") << "}";
+  }
+
+  // ---- kill mid-campaign, then resume ------------------------------------
+  // Re-create the 2-shard campaign with shard 1 "killed": keep its manifest
+  // plus the first half of its records, then a torn trailing line (the
+  // crash happened mid-append).
+  const std::string victim = shard_path(2, 1);
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(victim);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  const std::size_t keep_records = (lines.size() - 1) / 2;
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i <= keep_records; ++i) out << lines[i] << '\n';
+    out << "{\"type\":\"run\",\"run_index";  // torn
+  }
+  const std::size_t killed_after = keep_records;
+  const std::size_t to_recover = (lines.size() - 1) - keep_records;
+
+  const auto resume_start = std::chrono::steady_clock::now();
+  std::size_t recovered = 0;
+  {
+    core::ShardResultStore store(victim, manifest_for(2, 1),
+                                 core::StoreOpenMode::kResume);
+    recovered = experiment.run_shard(model, store).total();
+  }
+  const double resume_wall = seconds_since(resume_start);
+
+  // No-op resume on the now-complete store: the pure durability overhead a
+  // resume adds on top of the work itself (scan + validate + reopen).
+  const auto noop_start = std::chrono::steady_clock::now();
+  {
+    core::ShardResultStore store(victim, manifest_for(2, 1),
+                                 core::StoreOpenMode::kResume);
+    experiment.run_shard(model, store);
+  }
+  const double noop_resume = seconds_since(noop_start);
+
+  const core::MergedCampaign resumed_merge =
+      core::merge_shards({shard_path(2, 0), victim});
+  const bool resume_identical =
+      core::campaign_fingerprint(resumed_merge.stats) == base_fp &&
+      merged_jsonl(resumed_merge) == base_jsonl;
+  all_identical = all_identical && resume_identical;
+  std::printf("kill/resume: killed after %zu records, recovered %zu in "
+              "%.3f s; no-op resume %.4f s; identical=%s\n",
+              killed_after, recovered, resume_wall, noop_resume,
+              resume_identical ? "true" : "false");
+  if (recovered != to_recover) {
+    std::printf("FAIL: resume executed %zu runs, expected %zu\n", recovered,
+                to_recover);
+    all_identical = false;
+  }
+
+  // ---- the durability tax, gated -----------------------------------------
+  const double overhead = (noop_resume + merge_seconds_2) / baseline.wall_seconds;
+  std::printf("durability overhead: (%.4f s resume scan + %.4f s merge) / "
+              "%.3f s campaign = %.2f%% (max %.0f%%)\n",
+              noop_resume, merge_seconds_2, baseline.wall_seconds,
+              overhead * 100.0, max_overhead * 100.0);
+
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"shard_resume\",\n  \"runs\": " << runs
+      << ",\n  \"baseline_wall_seconds\": " << baseline.wall_seconds
+      << ",\n  \"shards\": [" << rows.str() << "\n  ],"
+      << "\n  \"resume\": {\"killed_after\": " << killed_after
+      << ", \"recovered_runs\": " << recovered
+      << ", \"resume_wall_seconds\": " << resume_wall
+      << ", \"noop_resume_seconds\": " << noop_resume << ", \"identical\": "
+      << (resume_identical ? "true" : "false") << "},"
+      << "\n  \"merge_seconds\": " << merge_seconds_2
+      << ",\n  \"overhead_fraction\": " << overhead
+      << ",\n  \"max_overhead_fraction\": " << max_overhead
+      << ",\n  \"identical\": " << (all_identical ? "true" : "false")
+      << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::printf("FAIL: sharded/resumed campaign diverged from baseline\n");
+    return 1;
+  }
+  if (overhead > max_overhead) {
+    std::printf("FAIL: durability overhead %.2f%% exceeds %.2f%%\n",
+                overhead * 100.0, max_overhead * 100.0);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -1,0 +1,294 @@
+// drivefi_campaign: the unified campaign CLI -- one entry point for
+// running, sharding, resuming, and merging fault-injection campaigns,
+// subsuming the per-example flag sprawl of mine_critical_faults and
+// random_vs_bayesian.
+//
+//   drivefi_campaign run [options]
+//     --model M            random-value | random-bitflip | bayesian
+//                          (default: random-value)
+//     --runs N             campaign size for the random models (default 60)
+//     --seed S             campaign seed (default 1234)
+//     --bits B             flipped bits per injection, random-bitflip only
+//     --replays N          bayesian: replay the top N of F_crit (default 25)
+//     --load-bn FILE       bayesian: reuse a fitted predictor (no refit)
+//     --save-bn FILE       bayesian: persist the fitted predictor
+//     --scn FILE           load the scenario corpus from a .scn suite
+//     --scenarios K        truncate the corpus to its first K scenarios
+//     --pipeline-seed S    sensor-noise seed (default 7)
+//     --threads N          worker threads (0 = all hardware)
+//     --fork / --no-fork   fork-from-golden replay (default: on)
+//     --checkpoint-stride N  scenes between golden checkpoints (default 4)
+//     --shard i/N          run only indices {r : r % N == i} (default 0/1)
+//     --store FILE         shard store path (default campaign.shard<i>.jsonl)
+//     --resume             continue a crashed/partial store instead of
+//                          starting over (refuses a mismatched manifest)
+//     --overwrite          explicitly discard an existing store; without it
+//                          (or --resume) a store already holding records is
+//                          refused, never silently clobbered
+//
+//   drivefi_campaign merge --jsonl OUT.jsonl SHARD.jsonl [SHARD.jsonl ...]
+//     Validates the shard set (same campaign, no duplicates, complete
+//     coverage), writes the canonical campaign JSONL -- byte-identical to
+//     the single-process run -- and prints the outcome table.
+//
+// A complete sharded campaign across two machines is just:
+//   machine A:  drivefi_campaign run --runs 100000 --shard 0/2 --store a.jsonl
+//   machine B:  drivefi_campaign run --runs 100000 --shard 1/2 --store b.jsonl
+//   anywhere:   drivefi_campaign merge --jsonl campaign.jsonl a.jsonl b.jsonl
+// and a crash on either machine is recovered by re-running with --resume.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bayes_model.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "core/manifest.h"
+#include "core/report.h"
+#include "core/result_store.h"
+#include "core/selector.h"
+#include "scenario/dsl.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run [options] | %s merge --jsonl OUT SHARD...\n"
+               "(see the header of examples/drivefi_campaign.cpp or\n"
+               " docs/FORMATS.md for the full option list)\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string model_name = "random-value";
+  std::size_t runs = 60;
+  std::uint64_t seed = 1234;
+  unsigned bits = 1;
+  std::size_t replays = 25;
+  std::string load_bn, save_bn, scn_path, store_path;
+  std::size_t scenarios_limit = 0;
+  std::uint64_t pipeline_seed = 7;
+  unsigned threads = 0;
+  bool fork_replays = true;
+  std::size_t checkpoint_stride = 4;
+  std::size_t shard_index = 0, shard_count = 1;
+  bool resume = false;
+  bool overwrite = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") model_name = next();
+    else if (arg == "--runs") runs = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--bits") bits = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--replays") replays = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--load-bn") load_bn = next();
+    else if (arg == "--save-bn") save_bn = next();
+    else if (arg == "--scn") scn_path = next();
+    else if (arg == "--scenarios") scenarios_limit = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--pipeline-seed") pipeline_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--threads") threads = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--fork") fork_replays = true;
+    else if (arg == "--no-fork") fork_replays = false;
+    else if (arg == "--checkpoint-stride") checkpoint_stride = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--store") store_path = next();
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--overwrite") overwrite = true;
+    else if (arg == "--shard") {
+      const std::string value = next();
+      const std::size_t slash = value.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "error: --shard wants i/N, got %s\n", value.c_str());
+        return 2;
+      }
+      shard_index = static_cast<std::size_t>(std::atoll(value.substr(0, slash).c_str()));
+      shard_count = static_cast<std::size_t>(std::atoll(value.substr(slash + 1).c_str()));
+      if (shard_count == 0 || shard_index >= shard_count) {
+        std::fprintf(stderr, "error: --shard %zu/%zu is out of range\n",
+                     shard_index, shard_count);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (resume && overwrite) {
+    std::fprintf(stderr, "error: --resume and --overwrite are exclusive\n");
+    return 2;
+  }
+  if (store_path.empty())
+    store_path = "campaign.shard" + std::to_string(shard_index) + ".jsonl";
+  // Pre-flight the clobber refusal BEFORE the golden precompute (and, for
+  // --model bayesian, the fit + selection): a forgotten --resume should
+  // fail in milliseconds, not after minutes of wasted campaign setup. The
+  // store constructor re-checks authoritatively either way.
+  if (!resume && !overwrite) {
+    const std::size_t records = core::stored_record_count(store_path);
+    if (records > 0) {
+      std::fprintf(stderr,
+                   "error: refusing to overwrite %s: it already holds %zu run "
+                   "record(s); resume it (--resume), discard it explicitly "
+                   "(--overwrite), or delete the file\n",
+                   store_path.c_str(), records);
+      return 1;
+    }
+  }
+
+  // -- scenario corpus ----------------------------------------------------
+  std::vector<sim::Scenario> suite =
+      scn_path.empty() ? sim::base_suite() : scenario::load_suite(scn_path);
+  std::string scenario_spec = scn_path.empty() ? "builtin:base" : scn_path;
+  if (scenarios_limit > 0 && scenarios_limit < suite.size()) {
+    suite.resize(scenarios_limit);
+    scenario_spec += ":" + std::to_string(scenarios_limit);
+  }
+
+  ads::PipelineConfig config;
+  config.seed = pipeline_seed;
+  core::ExperimentOptions options;
+  options.executor.threads = threads;
+  options.fork_replays = fork_replays;
+  options.checkpoint_stride = checkpoint_stride;
+
+  std::printf("running %zu golden scenarios (%s)...\n", suite.size(),
+              scenario_spec.c_str());
+  const core::Experiment experiment(suite, config, {}, options);
+
+  // -- fault model --------------------------------------------------------
+  std::unique_ptr<core::FaultModel> model;
+  if (model_name == "random-value") {
+    model = std::make_unique<core::RandomValueModel>(runs, seed);
+  } else if (model_name == "random-bitflip") {
+    model = std::make_unique<core::BitFlipModel>(runs, seed, bits);
+  } else if (model_name == "bayesian") {
+    core::BayesianCampaignConfig campaign;
+    campaign.max_replays = replays;
+    campaign.selection.executor.threads = threads;
+    std::unique_ptr<core::BayesianFaultModel> bayes;
+    if (!load_bn.empty()) {
+      std::printf("loading fitted predictor from %s (no refit)...\n",
+                  load_bn.c_str());
+      auto predictor = std::make_shared<const core::SafetyPredictor>(
+          core::load_predictor(load_bn));
+      bayes = std::make_unique<core::BayesianFaultModel>(experiment, predictor,
+                                                         campaign);
+    } else {
+      std::printf("fitting the %d-TBN on golden traces...\n",
+                  campaign.predictor.slices);
+      bayes = std::make_unique<core::BayesianFaultModel>(experiment, campaign);
+    }
+    if (!save_bn.empty()) {
+      core::save_predictor(bayes->predictor(), save_bn);
+      std::printf("saved fitted predictor to %s\n", save_bn.c_str());
+    }
+    const core::SelectionResult& selection = bayes->selection();
+    std::printf("Bayesian selection: %zu critical faults (%zu BN inferences, "
+                "replaying top %zu)\n",
+                selection.critical.size(), selection.inference_calls,
+                bayes->run_count());
+    model = std::move(bayes);
+  } else {
+    std::fprintf(stderr, "error: unknown model %s\n", model_name.c_str());
+    return 2;
+  }
+
+  // -- manifest + durable shard store ---------------------------------------
+  core::CampaignManifest manifest =
+      core::make_manifest(experiment, *model, scenario_spec);
+  manifest.shard_index = shard_index;
+  manifest.shard_count = shard_count;
+
+  const core::StoreOpenMode mode = resume ? core::StoreOpenMode::kResume
+                                 : overwrite ? core::StoreOpenMode::kOverwrite
+                                             : core::StoreOpenMode::kFresh;
+  core::ShardResultStore store(store_path, manifest, mode);
+  const std::size_t already = store.completed().size();
+  if (resume && already > 0)
+    std::printf("resuming %s: %zu of this shard's runs already stored\n",
+                store_path.c_str(), already);
+
+  std::printf("shard %zu/%zu of %zu planned runs -> %s\n", shard_index,
+              shard_count, manifest.planned_runs, store_path.c_str());
+  const core::CampaignStats stats = experiment.run_shard(*model, store);
+  core::outcome_table(stats).print("shard outcomes (this sitting)");
+  std::printf("executed %zu runs in %.2f s; store now holds %zu records\n",
+              stats.total(), stats.wall_seconds, store.completed().size());
+  if (shard_count > 1)
+    std::printf("merge when all shards are done:\n  drivefi_campaign merge "
+                "--jsonl campaign.jsonl <shard files>\n");
+  else
+    std::printf("finalize: drivefi_campaign merge --jsonl campaign.jsonl %s\n",
+                store_path.c_str());
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  std::string jsonl_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jsonl") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jsonl needs a value\n");
+        return 2;
+      }
+      jsonl_path = argv[++i];
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    std::fprintf(stderr, "error: merge needs at least one shard file\n");
+    return 2;
+  }
+
+  const core::MergedCampaign merged = core::merge_shards(shard_paths);
+  std::printf("merged %zu shard file(s): model %s (%s), %zu runs\n",
+              shard_paths.size(), merged.manifest.model.c_str(),
+              merged.manifest.model_params.c_str(),
+              merged.manifest.planned_runs);
+  core::outcome_table(merged.stats).print("campaign outcomes");
+
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    core::write_merged_jsonl(merged, out);
+    std::printf("wrote canonical campaign JSONL to %s\n", jsonl_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string command = argv[1];
+  try {
+    if (command == "run") return cmd_run(argc - 2, argv + 2);
+    if (command == "merge") return cmd_merge(argc - 2, argv + 2);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage(argv[0]);
+}

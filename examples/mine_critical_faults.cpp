@@ -12,6 +12,11 @@
 //     --threads N     selection/replay thread count (0 = all hardware)
 //     --fork / --no-fork      toggle fork-from-golden replay (default: on)
 //     --checkpoint-stride N   scenes between golden checkpoints (default 4)
+//
+// This walkthrough narrates the paper's workflow; for production campaigns
+// (sharding across machines, crash-safe stores, --resume, merge) use the
+// unified CLI instead: `drivefi_campaign run --model bayesian ...`
+// (examples/drivefi_campaign.cpp) -- it subsumes every flag above.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

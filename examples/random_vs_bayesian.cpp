@@ -5,6 +5,11 @@
 //   ./random_vs_bayesian [budget] [options]
 //     --fork / --no-fork      toggle fork-from-golden replay (default: on)
 //     --checkpoint-stride N   scenes between golden checkpoints (default 4)
+//
+// This walkthrough contrasts the two models side by side; to run either
+// model as a durable, shardable, resumable campaign use the unified CLI:
+// `drivefi_campaign run --model random-value|random-bitflip|bayesian ...`
+// (examples/drivefi_campaign.cpp).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

@@ -1,8 +1,9 @@
-// Campaign result records and their aggregate statistics. One
-// InjectionRecord per injected run; CampaignStats is the in-memory
-// aggregation every fault model's campaign reduces to (the paper's
-// masked / SDC / hang / hazard taxonomy plus the distinct-hazard-scene
-// count behind its "68 safety-critical scenes").
+/// \file
+/// Campaign result records and their aggregate statistics. One
+/// InjectionRecord per injected run; CampaignStats is the in-memory
+/// aggregation every fault model's campaign reduces to (the paper's
+/// masked / SDC / hang / hazard taxonomy plus the distinct-hazard-scene
+/// count behind its "68 safety-critical scenes").
 #pragma once
 
 #include <cstddef>
@@ -31,8 +32,8 @@ struct CampaignStats {
   std::size_t sdc_benign = 0;
   std::size_t hang = 0;
   std::size_t hazard = 0;
-  // Distinct (scenario, scene) pairs where a hazard manifested -- the
-  // paper's "68 safety-critical scenes".
+  /// Distinct (scenario, scene) pairs where a hazard manifested -- the
+  /// paper's "68 safety-critical scenes".
   std::set<std::pair<std::size_t, std::size_t>> hazard_scenes;
   double wall_seconds = 0.0;
 
@@ -40,12 +41,12 @@ struct CampaignStats {
   void add(const InjectionRecord& record);
 };
 
-// Serializes everything except wall_seconds (the only legitimately
-// non-deterministic field), with exact bit patterns for the doubles.
-// Two campaigns are bit-identical iff their fingerprints compare equal;
-// the determinism tests and the forked-vs-full divergence gates in the
-// benches all share this one definition so a new record field cannot
-// silently weaken some of them.
+/// Serializes everything except wall_seconds (the only legitimately
+/// non-deterministic field), with exact bit patterns for the doubles.
+/// Two campaigns are bit-identical iff their fingerprints compare equal;
+/// the determinism tests and the forked-vs-full divergence gates in the
+/// benches all share this one definition so a new record field cannot
+/// silently weaken some of them.
 std::string campaign_fingerprint(const CampaignStats& stats);
 
 }  // namespace drivefi::core

@@ -1,10 +1,11 @@
-// Deterministic parallel campaign execution. A ParallelExecutor fans
-// independent runs out over a std::thread pool and delivers results to the
-// consumer in strictly increasing run-index order (a small reorder buffer
-// holds out-of-order completions). Because every run derives its own seed
-// from (campaign_seed, run_index) and the consumer sees index order, a
-// campaign's output is bit-identical regardless of thread count or
-// completion order.
+/// \file
+/// Deterministic parallel campaign execution. A ParallelExecutor fans
+/// independent runs out over a std::thread pool and delivers results to the
+/// consumer in strictly increasing run-index order (a small reorder buffer
+/// holds out-of-order completions). Because every run derives its own seed
+/// from (campaign_seed, run_index) and the consumer sees index order, a
+/// campaign's output is bit-identical regardless of thread count or
+/// completion order.
 #pragma once
 
 #include <atomic>
@@ -20,12 +21,12 @@
 namespace drivefi::core {
 
 struct ExecutorConfig {
-  // 0 means std::thread::hardware_concurrency (at least 1).
+  /// 0 means std::thread::hardware_concurrency (at least 1).
   unsigned threads = 0;
 };
 
-// Resolves a thread-count request against the machine (0 -> all hardware
-// threads; never less than 1).
+/// Resolves a thread-count request against the machine (0 -> all hardware
+/// threads; never less than 1).
 unsigned resolve_thread_count(unsigned requested);
 
 class ParallelExecutor {
@@ -35,13 +36,13 @@ class ParallelExecutor {
 
   unsigned threads() const { return threads_; }
 
-  // Runs produce(i) for every i in [0, n) across the pool, in arbitrary
-  // order, and calls consume(result) exactly once per run in strictly
-  // increasing i order. consume always executes under an internal lock, so
-  // it may touch unsynchronized state (stats, streams); produce runs
-  // concurrently and must be re-entrant. The first exception thrown by
-  // produce or consume cancels outstanding work and emission, and is
-  // rethrown on the calling thread.
+  /// Runs produce(i) for every i in [0, n) across the pool, in arbitrary
+  /// order, and calls consume(result) exactly once per run in strictly
+  /// increasing i order. consume always executes under an internal lock, so
+  /// it may touch unsynchronized state (stats, streams); produce runs
+  /// concurrently and must be re-entrant. The first exception thrown by
+  /// produce or consume cancels outstanding work and emission, and is
+  /// rethrown on the calling thread.
   template <typename Result>
   void run_ordered(std::size_t n,
                    const std::function<Result(std::size_t)>& produce,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/fault_model.h"
+#include "core/result_store.h"
 
 namespace drivefi::core {
 
@@ -85,6 +86,58 @@ CampaignStats Experiment::run(const FaultModel& model,
   executor.run_ordered<InjectionRecord>(
       n, [&](std::size_t i) { return execute(model.spec(i, *this)); },
       [&](InjectionRecord&& record) {
+        stats.add(record);
+        for (ResultSink* sink : sinks) sink->consume(record);
+      });
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (ResultSink* sink : sinks) sink->finish(stats);
+  return stats;
+}
+
+CampaignStats Experiment::run_shard(const FaultModel& model,
+                                    ShardResultStore& store,
+                                    const std::vector<ResultSink*>& sinks) const {
+  const auto start = std::chrono::steady_clock::now();
+  const CampaignManifest& manifest = store.manifest();
+  // The store's manifest must describe THIS experiment and model, not just
+  // agree on the run count -- otherwise records produced under a different
+  // seed/corpus/config would be durably stored (and later merged) under
+  // another campaign's identity. Same comparison the store itself applies
+  // when resuming; shard coordinates and provenance spelling are the
+  // caller's business.
+  const std::string reason =
+      make_manifest(*this, model, manifest.scenario_spec)
+          .mismatch_reason(manifest);
+  if (!reason.empty())
+    throw std::invalid_argument(
+        "run_shard: store manifest does not describe this campaign: " +
+        reason);
+
+  // This shard's residue class, minus what the store already holds -- the
+  // resume semantics fall out of the subtraction: a fresh store yields the
+  // whole class, a complete store yields nothing.
+  std::vector<std::size_t> missing;
+  for (std::size_t r = manifest.shard_index; r < manifest.planned_runs;
+       r += manifest.shard_count)
+    if (!store.contains(r)) missing.push_back(r);
+
+  CampaignMeta meta;
+  meta.model_name = model.name();
+  meta.planned_runs = missing.size();
+  for (ResultSink* sink : sinks) sink->begin(meta);
+  for (ResultSink* sink : sinks) model.describe(*sink);
+
+  CampaignStats stats;
+  stats.records.reserve(missing.size());
+  const ParallelExecutor executor(options_.executor);
+  executor.run_ordered<InjectionRecord>(
+      missing.size(),
+      [&](std::size_t i) { return execute(model.spec(missing[i], *this)); },
+      [&](InjectionRecord&& record) {
+        store.append(record);
         stats.add(record);
         for (ResultSink* sink : sinks) sink->consume(record);
       });

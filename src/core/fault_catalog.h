@@ -1,8 +1,9 @@
-// Fault catalog for the value-corruption fault model (paper fault model
-// (b)): every (scenario, scene, module-output variable, {min, max}) tuple
-// is one candidate fault. The paper's 98,400-fault list is exactly this
-// cross product over its scenario corpus; the catalog here computes ours
-// and the exhaustive-evaluation cost model behind the "615 days" number.
+/// \file
+/// Fault catalog for the value-corruption fault model (paper fault model
+/// (b)): every (scenario, scene, module-output variable, {min, max}) tuple
+/// is one candidate fault. The paper's 98,400-fault list is exactly this
+/// cross product over its scenario corpus; the catalog here computes ours
+/// and the exhaustive-evaluation cost model behind the "615 days" number.
 #pragma once
 
 #include <cstddef>
@@ -33,25 +34,25 @@ struct FaultCatalog {
   std::size_t size() const { return faults.size(); }
 };
 
-// Target names + [min,max] ranges; decoupled from a live pipeline so the
-// catalog can be built without running anything.
+/// Target names + [min,max] ranges; decoupled from a live pipeline so the
+/// catalog can be built without running anything.
 struct TargetRange {
   std::string name;
   double min_value;
   double max_value;
 };
 
-// The default injectable-variable list (mirrors AdsPipeline's registry).
+/// The default injectable-variable list (mirrors AdsPipeline's registry).
 std::vector<TargetRange> default_target_ranges();
 
-// Builds the full catalog over a scenario suite at the given scene rate.
+/// Builds the full catalog over a scenario suite at the given scene rate.
 FaultCatalog build_catalog(const std::vector<sim::Scenario>& scenarios,
                            const std::vector<TargetRange>& targets,
                            double scene_hz = 7.5);
 
-// Cost model for exhaustively simulating the catalog: every fault requires
-// replaying its scenario. Returns estimated wall-clock seconds given a
-// measured real-time factor (sim seconds per wall second).
+/// Cost model for exhaustively simulating the catalog: every fault requires
+/// replaying its scenario. Returns estimated wall-clock seconds given a
+/// measured real-time factor (sim seconds per wall second).
 double exhaustive_cost_seconds(const FaultCatalog& catalog,
                                const std::vector<sim::Scenario>& scenarios,
                                double sim_seconds_per_wall_second);

@@ -4,6 +4,7 @@
 
 #include "core/experiment.h"
 #include "core/result_sink.h"
+#include "util/fnv.h"
 #include "util/rng.h"
 
 namespace drivefi::core {
@@ -36,8 +37,20 @@ RunSpec BitFlipModel::spec(std::size_t run_index,
   return spec;
 }
 
+std::string BitFlipModel::params() const {
+  std::ostringstream out;
+  out << "n=" << n_ << " seed=" << seed_ << " bits=" << bits_;
+  return out.str();
+}
+
 RandomValueModel::RandomValueModel(std::size_t n, std::uint64_t seed)
     : n_(n), seed_(seed), targets_(default_target_ranges()) {}
+
+std::string RandomValueModel::params() const {
+  std::ostringstream out;
+  out << "n=" << n_ << " seed=" << seed_;
+  return out.str();
+}
 
 RunSpec RandomValueModel::spec(std::size_t run_index,
                                const Experiment& experiment) const {
@@ -86,6 +99,16 @@ RunSpec SelectedFaultModel::spec(std::size_t run_index,
   return spec;
 }
 
+std::string SelectedFaultModel::params() const {
+  std::ostringstream out;
+  out << "faults=" << faults_.size() << " hold_override=";
+  if (hold_seconds_override_ >= 0.0)
+    out << hold_seconds_override_;
+  else
+    out << "none";
+  return out.str();
+}
+
 BayesianFaultModel::BayesianFaultModel(const Experiment& experiment,
                                        BayesianCampaignConfig config)
     : predictor_(std::make_shared<const SafetyPredictor>(experiment.goldens(),
@@ -132,6 +155,27 @@ RunSpec BayesianFaultModel::spec(std::size_t run_index,
   spec.hold_seconds = static_cast<double>(predictor_->horizon()) /
                       predictor_->config().scene_hz;
   return spec;
+}
+
+std::string BayesianFaultModel::params() const {
+  // Shards of a Bayesian campaign must replay the SAME F_crit list, but a
+  // --load-bn'd predictor (fitted elsewhere) can select differently on an
+  // otherwise-identical manifest -- so pin the replay list itself by
+  // content hash, not just its shape.
+  util::Fnv1a fnv;
+  for (const SelectedFault& sf : replays_) {
+    fnv.add(static_cast<std::uint64_t>(sf.fault.scenario_index));
+    fnv.add(static_cast<std::uint64_t>(sf.fault.scene_index));
+    fnv.add(std::string_view(sf.fault.target));
+    fnv.add(static_cast<std::uint64_t>(sf.fault.extreme));
+    fnv.add(sf.fault.value);
+    fnv.add(sf.fault.inject_time);
+  }
+  std::ostringstream out;
+  out << "replays=" << replays_.size() << " replays_hash=" << fnv.hash()
+      << " slices=" << predictor_->config().slices
+      << " horizon=" << predictor_->horizon();
+  return out.str();
 }
 
 void BayesianFaultModel::describe(ResultSink& sink) const {

@@ -1,9 +1,10 @@
-// Per-variable fault criticality: which ADS module outputs, when
-// corrupted, actually endanger the vehicle. The paper's evaluation
-// discusses exactly this breakdown (throttle/brake/steer corruptions at
-// small safety potential dominate F_crit); this module computes it from a
-// selection result and its full-simulation replay so the ranking reflects
-// validated hazards, not just predictions.
+/// \file
+/// Per-variable fault criticality: which ADS module outputs, when
+/// corrupted, actually endanger the vehicle. The paper's evaluation
+/// discusses exactly this breakdown (throttle/brake/steer corruptions at
+/// small safety potential dominate F_crit); this module computes it from a
+/// selection result and its full-simulation replay so the ranking reflects
+/// validated hazards, not just predictions.
 #pragma once
 
 #include <string>
@@ -29,21 +30,21 @@ struct TargetImportance {
 struct ImportanceReport {
   std::vector<TargetImportance> targets;  // sorted by hazards, then selected
 
-  // Share of validated hazards contributed by the top-n targets; the
-  // paper's observation is that this saturates quickly (a handful of
-  // actuation variables dominate).
+  /// Share of validated hazards contributed by the top-n targets; the
+  /// paper's observation is that this saturates quickly (a handful of
+  /// actuation variables dominate).
   double hazard_share_of_top(std::size_t n) const;
 
   util::Table to_table() const;
 };
 
-// Joins selection output with replay outcomes. `replayed` must be the
-// CampaignStats returned by Experiment::run(SelectedFaultModel(...)) for
-// the same fault list (records are matched by position).
+/// Joins selection output with replay outcomes. `replayed` must be the
+/// CampaignStats returned by Experiment::run(SelectedFaultModel(...)) for
+/// the same fault list (records are matched by position).
 ImportanceReport rank_targets(const std::vector<SelectedFault>& selected,
                               const CampaignStats& replayed);
 
-// Selection-only variant (no replay outcomes available).
+/// Selection-only variant (no replay outcomes available).
 ImportanceReport rank_targets(const std::vector<SelectedFault>& selected);
 
 }  // namespace drivefi::core

@@ -19,6 +19,17 @@ const char* outcome_name(Outcome outcome) {
   return "?";
 }
 
+bool outcome_from_name(const std::string& name, Outcome* out) {
+  for (const Outcome candidate : {Outcome::kMasked, Outcome::kSdcBenign,
+                                  Outcome::kHang, Outcome::kHazard}) {
+    if (name == outcome_name(candidate)) {
+      *out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 RunResult classify_run(const std::vector<ads::SceneRecord>& golden,
                        const std::vector<ads::SceneRecord>& injected,
                        bool any_module_hung, const ClassifierConfig& config) {

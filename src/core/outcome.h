@@ -1,8 +1,9 @@
-// Outcome taxonomy for injected runs, matching the paper's categories:
-// masked (no observable effect), SDC/actuation errors the ADS recovers
-// from, hangs/crashes (module failure), and hazards (safety violation:
-// collision, lane departure, or delta <= 0). The taxonomy is a partition:
-// every run maps to exactly one outcome, with hazard taking precedence.
+/// \file
+/// Outcome taxonomy for injected runs, matching the paper's categories:
+/// masked (no observable effect), SDC/actuation errors the ADS recovers
+/// from, hangs/crashes (module failure), and hazards (safety violation:
+/// collision, lane departure, or delta <= 0). The taxonomy is a partition:
+/// every run maps to exactly one outcome, with hazard taking precedence.
 #pragma once
 
 #include <string>
@@ -20,6 +21,10 @@ enum class Outcome {
 
 const char* outcome_name(Outcome outcome);
 
+/// Inverse of outcome_name (used by the shard result store to reload
+/// records). Returns false when `name` names no outcome.
+bool outcome_from_name(const std::string& name, Outcome* out);
+
 struct RunResult {
   Outcome outcome = Outcome::kMasked;
   bool collided = false;
@@ -33,21 +38,21 @@ struct RunResult {
 };
 
 struct ClassifierConfig {
-  // Actuation divergence below this is considered masked (sensor noise
-  // reordering makes bit-identical replay impossible).
+  /// Actuation divergence below this is considered masked (sensor noise
+  /// reordering makes bit-identical replay impossible).
   double actuation_epsilon = 0.05;
-  // A scene counts as delta-violated only if the golden run was safe at
-  // the same scene (fault must CAUSE the violation -- eq. (1)).
+  /// A scene counts as delta-violated only if the golden run was safe at
+  /// the same scene (fault must CAUSE the violation -- eq. (1)).
   bool require_golden_safe = true;
-  // A delta violation must persist this many consecutive scenes to count
-  // as a hazard; single-scene sign flips of the instantaneous criterion
-  // are measurement noise, not safety events. Collision/off-road are
-  // always immediate.
+  /// A delta violation must persist this many consecutive scenes to count
+  /// as a hazard; single-scene sign flips of the instantaneous criterion
+  /// are measurement noise, not safety events. Collision/off-road are
+  /// always immediate.
   int delta_persistence_scenes = 2;
 };
 
-// Classify an injected run against its golden counterpart. The two scene
-// logs must come from the same scenario (equal length up to early end).
+/// Classify an injected run against its golden counterpart. The two scene
+/// logs must come from the same scenario (equal length up to early end).
 RunResult classify_run(const std::vector<ads::SceneRecord>& golden,
                        const std::vector<ads::SceneRecord>& injected,
                        bool any_module_hung,

@@ -1,5 +1,6 @@
-// Report generation: renders campaign statistics and selection results as
-// tables in the shape of the paper's evaluation section.
+/// \file
+/// Report generation: renders campaign statistics and selection results as
+/// tables in the shape of the paper's evaluation section.
 #pragma once
 
 #include "core/campaign_stats.h"
@@ -8,19 +9,19 @@
 
 namespace drivefi::core {
 
-// Outcome breakdown (counts + percentages), one row per outcome class.
+/// Outcome breakdown (counts + percentages), one row per outcome class.
 util::Table outcome_table(const CampaignStats& stats);
 
-// Per-target hazard yield: which variables produce hazards.
+/// Per-target hazard yield: which variables produce hazards.
 util::Table per_target_table(const CampaignStats& stats);
 
-// Selection summary: catalog size, evaluated, F_crit size, timing,
-// estimated exhaustive cost and acceleration factor (the paper's headline
-// E1 numbers).
+/// Selection summary: catalog size, evaluated, F_crit size, timing,
+/// estimated exhaustive cost and acceleration factor (the paper's headline
+/// E1 numbers).
 util::Table selection_summary_table(const SelectionResult& selection,
                                     double exhaustive_seconds);
 
-// Validation summary (E2): predicted-critical vs manifested hazards.
+/// Validation summary (E2): predicted-critical vs manifested hazards.
 util::Table validation_table(const SelectionResult& selection,
                              const CampaignStats& replayed,
                              std::size_t total_scenes);

@@ -1,8 +1,10 @@
 #include "core/result_sink.h"
 
-#include <cstdio>
 #include <iomanip>
+#include <stdexcept>
 
+#include "core/jsonl.h"
+#include "core/result_store.h"
 #include "core/selector.h"
 
 namespace drivefi::core {
@@ -21,46 +23,14 @@ std::string csv_quote(const std::string& field) {
   return out;
 }
 
-// RFC 8259 string escaping: quote, backslash, and EVERY control character
-// below 0x20 (named shorthands where they exist, \u00XX otherwise), so a
-// pathological description can never break a record's framing.
-std::string json_escape(const std::string& field) {
-  std::string out;
-  for (char c : field) {
-    const auto u = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\b':
-        out += "\\b";
-        break;
-      case '\f':
-        out += "\\f";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (u < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+// A sink that silently drops records turns a full disk into a truncated
+// campaign nobody notices until the analysis stage; surface the stream
+// error at the write that hit it instead.
+void check(const std::ostream& out, const char* sink) {
+  if (!out)
+    throw std::runtime_error(std::string(sink) +
+                             ": write failed (stream in error state -- disk "
+                             "full or closed stream?)");
 }
 
 }  // namespace
@@ -69,6 +39,7 @@ void CsvSink::begin(const CampaignMeta& meta) {
   (void)meta;
   out_ << "run_index,description,scenario_index,scene_index,outcome,"
           "min_delta_lon,max_actuation_divergence\n";
+  check(out_, "CsvSink");
 }
 
 void CsvSink::consume(const InjectionRecord& record) {
@@ -77,11 +48,19 @@ void CsvSink::consume(const InjectionRecord& record) {
        << outcome_name(record.outcome) << ',' << std::setprecision(17)
        << record.min_delta_lon << ',' << record.max_actuation_divergence
        << '\n';
+  check(out_, "CsvSink");
+}
+
+void CsvSink::finish(const CampaignStats& stats) {
+  (void)stats;
+  out_.flush();
+  check(out_, "CsvSink");
 }
 
 void JsonlSink::begin(const CampaignMeta& meta) {
   out_ << "{\"type\":\"campaign\",\"model\":\"" << json_escape(meta.model_name)
        << "\",\"planned_runs\":" << meta.planned_runs << "}\n";
+  check(out_, "JsonlSink");
 }
 
 void JsonlSink::selection(const SelectionResult& result) {
@@ -96,17 +75,14 @@ void JsonlSink::selection(const SelectionResult& result) {
        << ",\"inference_calls\":" << result.inference_calls
        << ",\"wall_seconds\":" << std::setprecision(17)
        << result.wall_seconds << "}\n";
+  check(out_, "JsonlSink");
 }
 
 void JsonlSink::consume(const InjectionRecord& record) {
-  out_ << "{\"type\":\"run\",\"run_index\":" << record.run_index
-       << ",\"description\":\"" << json_escape(record.description)
-       << "\",\"scenario_index\":" << record.scenario_index
-       << ",\"scene_index\":" << record.scene_index << ",\"outcome\":\""
-       << outcome_name(record.outcome) << "\",\"min_delta_lon\":"
-       << std::setprecision(17) << record.min_delta_lon
-       << ",\"max_actuation_divergence\":" << record.max_actuation_divergence
-       << "}\n";
+  // One shared serializer with the shard result store, so a sharded
+  // campaign's merged JSONL is byte-identical to this stream.
+  out_ << run_record_jsonl(record) << '\n';
+  check(out_, "JsonlSink");
 }
 
 void JsonlSink::finish(const CampaignStats& stats) {
@@ -116,6 +92,8 @@ void JsonlSink::finish(const CampaignStats& stats) {
        << ",\"hazard_scenes\":" << stats.hazard_scenes.size()
        << ",\"wall_seconds\":" << std::setprecision(17) << stats.wall_seconds
        << "}\n";
+  out_.flush();
+  check(out_, "JsonlSink");
 }
 
 }  // namespace drivefi::core

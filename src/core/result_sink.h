@@ -1,8 +1,15 @@
-// Result sinks: one uniform consumer shape for campaign output. The
-// Experiment engine aggregates CampaignStats itself and additionally
-// streams every InjectionRecord -- in run-index order, regardless of
-// thread count -- to any attached sinks, so reports, benches, and file
-// exports all consume the same records without re-running anything.
+/// \file
+/// Result sinks: one uniform consumer shape for campaign output. The
+/// Experiment engine aggregates CampaignStats itself and additionally
+/// streams every InjectionRecord -- in run-index order, regardless of
+/// thread count -- to any attached sinks, so reports, benches, and file
+/// exports all consume the same records without re-running anything.
+///
+/// Error contract: the file-writing sinks (CsvSink, JsonlSink) check the
+/// stream after every write and flush, and throw std::runtime_error on
+/// failure (disk full, closed stream) instead of silently dropping
+/// records. The ParallelExecutor propagates a sink exception to the
+/// campaign caller and cancels outstanding work.
 #pragma once
 
 #include <cstddef>
@@ -15,29 +22,32 @@ namespace drivefi::core {
 
 struct SelectionResult;  // core/selector.h; by-reference use only here
 
-// Immutable campaign header handed to sinks before the first record.
+/// Immutable campaign header handed to sinks before the first record.
 struct CampaignMeta {
-  std::string model_name;     // FaultModel::name()
-  std::size_t planned_runs = 0;
+  std::string model_name;     ///< FaultModel::name()
+  std::size_t planned_runs = 0;  ///< runs this campaign will deliver
 };
 
+/// Interface every campaign consumer implements.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
 
+  /// Campaign header, before any record.
   virtual void begin(const CampaignMeta& meta) { (void)meta; }
-  // Per-campaign artifact hook: a selected-fault model (BayesianFaultModel)
-  // surfaces the Bayesian selection behind its replays here, between
-  // begin() and the first record. Default: ignore.
+  /// Per-campaign artifact hook: a selected-fault model (BayesianFaultModel)
+  /// surfaces the Bayesian selection behind its replays here, between
+  /// begin() and the first record. Default: ignore.
   virtual void selection(const SelectionResult& result) { (void)result; }
-  // Called once per run, in strictly increasing run_index order, never
-  // concurrently (the executor serializes delivery).
+  /// Called once per run, in strictly increasing run_index order, never
+  /// concurrently (the executor serializes delivery).
   virtual void consume(const InjectionRecord& record) = 0;
+  /// Campaign trailer with the aggregate stats.
   virtual void finish(const CampaignStats& stats) { (void)stats; }
 };
 
-// In-memory aggregation for callers that want CampaignStats from a sink
-// pipeline (the engine also returns stats directly).
+/// In-memory aggregation for callers that want CampaignStats from a sink
+/// pipeline (the engine also returns stats directly).
 class StatsSink : public ResultSink {
  public:
   void consume(const InjectionRecord& record) override { stats_.add(record); }
@@ -51,22 +61,27 @@ class StatsSink : public ResultSink {
   CampaignStats stats_;
 };
 
-// Streaming CSV: a header row, then one row per record as it completes.
+/// Streaming CSV: a header row, then one row per record as it completes.
+/// Throws std::runtime_error when a write or the final flush fails.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::ostream& out) : out_(out) {}
 
   void begin(const CampaignMeta& meta) override;
   void consume(const InjectionRecord& record) override;
+  void finish(const CampaignStats& stats) override;
 
  private:
   std::ostream& out_;
 };
 
-// Streaming JSONL: one JSON object per record, plus a final summary line
-// with the aggregate outcome counts. Bayesian campaigns additionally emit
-// one `selection` record (F_crit size, distinct skip-reason counters,
-// inference accounting) between the campaign header and the first run.
+/// Streaming JSONL: one JSON object per record, plus a final summary line
+/// with the aggregate outcome counts. Bayesian campaigns additionally emit
+/// one `selection` record (F_crit size, distinct skip-reason counters,
+/// inference accounting) between the campaign header and the first run.
+/// Run records use the same serializer as the shard result store
+/// (core/result_store.h), so merged shard output is byte-identical to this
+/// stream. Throws std::runtime_error when a write or the final flush fails.
 class JsonlSink : public ResultSink {
  public:
   explicit JsonlSink(std::ostream& out) : out_(out) {}

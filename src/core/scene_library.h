@@ -1,15 +1,16 @@
-// Situation library: clusters the scenes where selected faults manifest as
-// hazards into a small set of named driving situations. The paper's
-// discussion motivates exactly this ("combining results from a range of
-// fault injection experiments to create a library of situations will help
-// manufacturers to develop rules and conditions for AV testing and safe
-// driving"); this module is that post-processing step.
-//
-// Each hazardous (scenario, scene) pair is summarized by a kinematic
-// feature vector (ego speed, lead gap, closing speed, time-to-collision,
-// safety potential), clustered with deterministic k-means, and each
-// cluster is rendered as a human-readable rule giving the feature ranges
-// and the fault targets that dominate it.
+/// \file
+/// Situation library: clusters the scenes where selected faults manifest as
+/// hazards into a small set of named driving situations. The paper's
+/// discussion motivates exactly this ("combining results from a range of
+/// fault injection experiments to create a library of situations will help
+/// manufacturers to develop rules and conditions for AV testing and safe
+/// driving"); this module is that post-processing step.
+///
+/// Each hazardous (scenario, scene) pair is summarized by a kinematic
+/// feature vector (ego speed, lead gap, closing speed, time-to-collision,
+/// safety potential), clustered with deterministic k-means, and each
+/// cluster is rendered as a human-readable rule giving the feature ranges
+/// and the fault targets that dominate it.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +24,7 @@
 
 namespace drivefi::core {
 
-// Kinematic summary of one hazardous scene.
+/// Kinematic summary of one hazardous scene.
 struct SituationFeatures {
   std::size_t scenario_index = 0;
   std::size_t scene_index = 0;
@@ -35,8 +36,8 @@ struct SituationFeatures {
   std::string fault_target;    // the variable whose corruption was critical
 };
 
-// One mined situation: cluster centroid, member count, feature ranges, and
-// the fault targets that appear in the cluster (sorted by frequency).
+/// One mined situation: cluster centroid, member count, feature ranges, and
+/// the fault targets that appear in the cluster (sorted by frequency).
 struct Situation {
   std::string label;  // generated, e.g. "close-follow @ 33 m/s"
   std::size_t support = 0;
@@ -54,8 +55,8 @@ struct SceneLibraryConfig {
   std::uint64_t seed = 1;        // k-means++ style seeding, deterministic
 };
 
-// Extracts features for every selected fault from the golden traces.
-// Faults whose scene index is out of range are skipped.
+/// Extracts features for every selected fault from the golden traces.
+/// Faults whose scene index is out of range are skipped.
 std::vector<SituationFeatures> extract_features(
     const std::vector<SelectedFault>& faults,
     const std::vector<GoldenTrace>& traces,
@@ -63,16 +64,16 @@ std::vector<SituationFeatures> extract_features(
 
 class SceneLibrary {
  public:
-  // Clusters the features; deterministic for a fixed config.
+  /// Clusters the features; deterministic for a fixed config.
   SceneLibrary(std::vector<SituationFeatures> features,
                const SceneLibraryConfig& config = {});
 
   const std::vector<Situation>& situations() const { return situations_; }
 
-  // Cluster index for each input feature row, parallel to the input order.
+  /// Cluster index for each input feature row, parallel to the input order.
   const std::vector<std::size_t>& assignments() const { return assignments_; }
 
-  // Render the library as a table (one row per situation, support-sorted).
+  /// Render the library as a table (one row per situation, support-sorted).
   util::Table to_table() const;
 
  private:

@@ -1,16 +1,17 @@
-// The Bayesian fault-selection engine (the paper's core contribution,
-// eq. (1)): sweep the fault catalog, and for each candidate compute
-// delta-hat_do(f) by counterfactual BN inference; keep the faults where a
-// safe scene (delta > 0) is predicted to become unsafe (delta-hat <= 0).
-// This replaces full-simulation replay of each fault with one (fast) BN
-// inference, which is the source of the paper's ~3690x acceleration.
-//
-// The sweep is a first-class parallel campaign: select_critical_faults
-// shards the catalog into fixed-size chunks over a ParallelExecutor and
-// merges chunk results in chunk order, so the SelectionResult -- critical
-// list, counters, everything except wall_seconds -- is bit-identical at
-// any thread count (enforced by tests/determinism_test.cpp), exactly like
-// the Experiment campaigns.
+/// \file
+/// The Bayesian fault-selection engine (the paper's core contribution,
+/// eq. (1)): sweep the fault catalog, and for each candidate compute
+/// delta-hat_do(f) by counterfactual BN inference; keep the faults where a
+/// safe scene (delta > 0) is predicted to become unsafe (delta-hat <= 0).
+/// This replaces full-simulation replay of each fault with one (fast) BN
+/// inference, which is the source of the paper's ~3690x acceleration.
+///
+/// The sweep is a first-class parallel campaign: select_critical_faults
+/// shards the catalog into fixed-size chunks over a ParallelExecutor and
+/// merges chunk results in chunk order, so the SelectionResult -- critical
+/// list, counters, everything except wall_seconds -- is bit-identical at
+/// any thread count (enforced by tests/determinism_test.cpp), exactly like
+/// the Experiment campaigns.
 #pragma once
 
 #include <map>
@@ -36,8 +37,8 @@ struct SelectionResult {
   std::vector<SelectedFault> critical;  // F_crit, most-negative delta first
   std::size_t candidates_total = 0;
   std::size_t candidates_evaluated = 0;
-  // Distinct skip reasons (one lumped counter before): why a candidate
-  // never reached BN inference.
+  /// Distinct skip reasons (one lumped counter before): why a candidate
+  /// never reached BN inference.
   std::size_t skipped_unmapped = 0;       // target has no BN variable, or
                                           // indices beyond the corpus
   std::size_t skipped_no_window = 0;      // no full prediction window
@@ -52,20 +53,20 @@ struct SelectionResult {
   }
 };
 
-// Options for the parallel catalog sweep.
+/// Options for the parallel catalog sweep.
 struct SelectionOptions {
   bool observational = false;  // no-do ablation (naive conditioning)
   ExecutorConfig executor;     // thread pool; 0 = all hardware threads
   std::size_t chunk = 256;     // candidates per work unit
 };
 
-// Mapping from FaultRegistry target names to BN variables. Targets with no
-// BN counterpart (e.g. raw GPS x) are skipped by the selector, mirroring
-// the paper's restriction to the variables its BN models.
+/// Mapping from FaultRegistry target names to BN variables. Targets with no
+/// BN counterpart (e.g. raw GPS x) are skipped by the selector, mirroring
+/// the paper's restriction to the variables its BN models.
 std::map<std::string, std::string> default_target_to_bn_variable();
 
-// Converts a catalog fault's corrupted value into the BN variable's unit
-// (identity except localization.y, which maps to lane offset).
+/// Converts a catalog fault's corrupted value into the BN variable's unit
+/// (identity except localization.y, which maps to lane offset).
 double fault_value_to_bn_value(const CandidateFault& fault,
                                const std::string& bn_variable);
 
@@ -76,16 +77,16 @@ class BayesianFaultSelector {
       std::map<std::string, std::string> target_map =
           default_target_to_bn_variable());
 
-  // Evaluate every catalog candidate against the golden traces, sharded
-  // across the executor. Scenes where the golden run was already unsafe
-  // are excluded (the fault must CAUSE the violation). Deterministic:
-  // bit-identical result at any thread count.
+  /// Evaluate every catalog candidate against the golden traces, sharded
+  /// across the executor. Scenes where the golden run was already unsafe
+  /// are excluded (the fault must CAUSE the violation). Deterministic:
+  /// bit-identical result at any thread count.
   SelectionResult select_critical_faults(
       const FaultCatalog& catalog, const std::vector<GoldenTrace>& traces,
       const SelectionOptions& options = {}) const;
 
-  // Historical entry point; delegates to select_critical_faults with the
-  // default (all-hardware-threads) options.
+  /// Historical entry point; delegates to select_critical_faults with the
+  /// default (all-hardware-threads) options.
   SelectionResult select(const FaultCatalog& catalog,
                          const std::vector<GoldenTrace>& traces,
                          bool observational = false) const;

@@ -1,10 +1,11 @@
-// Scenario-space coverage: a fixed grid over kinematic features of a
-// scenario's initial configuration (ego speed, lead gap, closing speed,
-// time-to-collision band). Campaigns are only as strong as the diversity of
-// the scenario corpus they run against; this grid makes that diversity
-// measurable (which cells of the kinematic envelope does a suite exercise?)
-// and drives the coverage-guided sampler in scenario/generators.h, which
-// preferentially fills empty cells.
+/// \file
+/// Scenario-space coverage: a fixed grid over kinematic features of a
+/// scenario's initial configuration (ego speed, lead gap, closing speed,
+/// time-to-collision band). Campaigns are only as strong as the diversity of
+/// the scenario corpus they run against; this grid makes that diversity
+/// measurable (which cells of the kinematic envelope does a suite exercise?)
+/// and drives the coverage-guided sampler in scenario/generators.h, which
+/// preferentially fills empty cells.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +17,9 @@
 
 namespace drivefi::scenario {
 
-// Kinematic features of a scenario's initial configuration, derived purely
-// from the config (no simulation): the nearest scripted vehicle ahead of the
-// ego in its lane is the "lead".
+/// Kinematic features of a scenario's initial configuration, derived purely
+/// from the config (no simulation): the nearest scripted vehicle ahead of the
+/// ego in its lane is the "lead".
 struct ScenarioFeatures {
   double ego_speed = 0.0;
   double lead_gap = -1.0;       // m; < 0 when no lead in the ego lane
@@ -30,8 +31,8 @@ ScenarioFeatures scenario_features(const sim::Scenario& scenario);
 
 class ScenarioCoverage {
  public:
-  // Band edges (upper bounds; the last band is open-ended). Lead gap has an
-  // extra leading "none" band for scenarios with an empty ego lane.
+  /// Band edges (upper bounds; the last band is open-ended). Lead gap has an
+  /// extra leading "none" band for scenarios with an empty ego lane.
   static constexpr double kSpeedEdges[] = {10.0, 20.0, 27.0, 33.0};
   static constexpr double kGapEdges[] = {15.0, 40.0, 100.0};
   static constexpr double kClosingEdges[] = {-2.0, 2.0, 8.0};
@@ -46,7 +47,7 @@ class ScenarioCoverage {
 
   std::size_t cell_of(const ScenarioFeatures& features) const;
 
-  // Records the scenario and returns the cell it landed in.
+  /// Records the scenario and returns the cell it landed in.
   std::size_t add(const sim::Scenario& scenario);
 
   std::size_t total_cells() const { return counts_.size(); }
@@ -55,11 +56,11 @@ class ScenarioCoverage {
   std::size_t scenarios_added() const { return added_; }
   std::uint32_t count_in(std::size_t cell) const { return counts_[cell]; }
 
-  // Marginal occupancy per feature band, for human-readable reports.
+  /// Marginal occupancy per feature band, for human-readable reports.
   util::Table to_table() const;
 
-  // One JSONL record summarizing grid occupancy, shaped like the campaign
-  // sink records ({"type":"scenario_coverage",...}).
+  /// One JSONL record summarizing grid occupancy, shaped like the campaign
+  /// sink records ({"type":"scenario_coverage",...}).
   std::string jsonl_record() const;
 
  private:

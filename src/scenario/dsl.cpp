@@ -6,22 +6,17 @@
 #include <sstream>
 #include <system_error>
 
+#include "util/number_format.h"
+
 namespace drivefi::scenario {
 
 namespace {
 
 // ---------- serialization ----------
 
-// std::to_chars emits the shortest decimal form that maps back to the
-// exact double ("3.7", not "3.7000000000000002"), locale-independently --
-// snprintf/strtod would write "3,7" under a de_DE LC_NUMERIC and then fail
-// to reparse the library's own files. This is what makes
-// parse(serialize(s)) bit-identical regardless of host locale.
-std::string fmt(double v) {
-  char buf[32];
-  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, result.ptr);
-}
+// Shortest exact, locale-independent form (util/number_format.h): what
+// makes parse(serialize(s)) bit-identical regardless of host locale.
+std::string fmt(double v) { return util::shortest_double(v); }
 
 // The parser is line-oriented, so newlines (and CRs, which getline would
 // otherwise leave embedded) must travel as \n / \r escapes.

@@ -1,28 +1,29 @@
-// The .scn scenario DSL: a small line-oriented text format that round-trips
-// sim::Scenario (road, ego start, TV scripts, IDM params, duration), so
-// driving situations are data instead of C++ functions. Numbers serialize
-// via std::to_chars in their shortest exact form ("3.7", never
-// "3.7000000000000002" -- keep it that way, the files are meant to be
-// read and diffed), so parse(serialize(s)) == s field-for-field and an
-// exported suite replays bit-identical simulation traces.
-//
-//   # comment                      (blank lines and # comments are skipped)
-//   scenario lead_brake
-//     description "Lead vehicle brakes hard mid-scenario."
-//     duration 40
-//     road lanes=3 lane_width=3.7
-//     ego lane=1 speed=30
-//     ego_params wheelbase=2.8 max_accel=4.5 max_brake_decel=8  # optional
-//     vehicle lead gap=55 lane=1 speed=30 length=4.8 width=1.9
-//       phase t=0 speed=30 accel=2 lane_change_duration=3
-//       phase t=15 speed=12 accel=5 lane=2 lane_change_duration=3.5
-//       idm desired_speed=28 time_headway=1.5 min_gap=2 comfort_decel=2.5
-//   end
-//
-// `lane=` on a phase is the optional lane-change target; an `idm` line makes
-// the vehicle's longitudinal motion reactive (sim::TvConfig::idm). Keys may
-// appear in any order; unknown keys and malformed lines are hard errors with
-// the offending line number.
+/// \file
+/// The .scn scenario DSL: a small line-oriented text format that round-trips
+/// sim::Scenario (road, ego start, TV scripts, IDM params, duration), so
+/// driving situations are data instead of C++ functions. Numbers serialize
+/// via std::to_chars in their shortest exact form ("3.7", never
+/// "3.7000000000000002" -- keep it that way, the files are meant to be
+/// read and diffed), so parse(serialize(s)) == s field-for-field and an
+/// exported suite replays bit-identical simulation traces.
+///
+///   # comment                      (blank lines and # comments are skipped)
+///   scenario lead_brake
+///     description "Lead vehicle brakes hard mid-scenario."
+///     duration 40
+///     road lanes=3 lane_width=3.7
+///     ego lane=1 speed=30
+///     ego_params wheelbase=2.8 max_accel=4.5 max_brake_decel=8  # optional
+///     vehicle lead gap=55 lane=1 speed=30 length=4.8 width=1.9
+///       phase t=0 speed=30 accel=2 lane_change_duration=3
+///       phase t=15 speed=12 accel=5 lane=2 lane_change_duration=3.5
+///       idm desired_speed=28 time_headway=1.5 min_gap=2 comfort_decel=2.5
+///   end
+///
+/// `lane=` on a phase is the optional lane-change target; an `idm` line makes
+/// the vehicle's longitudinal motion reactive (sim::TvConfig::idm). Keys may
+/// appear in any order; unknown keys and malformed lines are hard errors with
+/// the offending line number.
 #pragma once
 
 #include <stdexcept>
@@ -33,7 +34,7 @@
 
 namespace drivefi::scenario {
 
-// Parse failure: `line` is 1-based within the parsed text.
+/// Parse failure: `line` is 1-based within the parsed text.
 class ScnError : public std::runtime_error {
  public:
   ScnError(std::size_t line, const std::string& message)
@@ -45,17 +46,17 @@ class ScnError : public std::runtime_error {
   std::size_t line_;
 };
 
-// One scenario / a whole suite to DSL text.
+/// One scenario / a whole suite to DSL text.
 std::string serialize(const sim::Scenario& scenario);
 std::string serialize_suite(const std::vector<sim::Scenario>& suite);
 
-// DSL text to scenarios. Throws ScnError on malformed input.
+/// DSL text to scenarios. Throws ScnError on malformed input.
 std::vector<sim::Scenario> parse_suite(const std::string& text);
-// Convenience for text expected to hold exactly one scenario.
+/// Convenience for text expected to hold exactly one scenario.
 sim::Scenario parse_scenario(const std::string& text);
 
-// File I/O. load_suite throws ScnError (parse) or std::runtime_error (I/O);
-// save_suite throws std::runtime_error on I/O failure.
+/// File I/O. load_suite throws ScnError (parse) or std::runtime_error (I/O);
+/// save_suite throws std::runtime_error on I/O failure.
 std::vector<sim::Scenario> load_suite(const std::string& path);
 void save_suite(const std::string& path, const std::vector<sim::Scenario>& suite);
 

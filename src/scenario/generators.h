@@ -1,17 +1,18 @@
-// Procedural scenario generation: composable primitives that synthesize
-// sim::Scenario instances from a random stream (lead braking, cut-ins,
-// merges into a gap, stop-and-go waves, multi-lane weaving with
-// IDM-reactive traffic), plus a seeded ScenarioSampler that mass-produces
-// suites from them. Sampling follows the same splitmix64 seed discipline
-// as core::Experiment: scenario `index` of a sampler seeded with `seed`
-// depends only on (seed, index), never on call order, so a sampled corpus
-// is bit-identical across runs, platforms, and thread counts.
-//
-// The coverage-guided mode (sample_covering) closes the loop with
-// ScenarioCoverage: each slot draws several candidate scenarios and keeps
-// the one landing in the least-occupied cell of the kinematic grid, so the
-// corpus spreads over the envelope instead of clustering where the
-// parameter distributions happen to concentrate.
+/// \file
+/// Procedural scenario generation: composable primitives that synthesize
+/// sim::Scenario instances from a random stream (lead braking, cut-ins,
+/// merges into a gap, stop-and-go waves, multi-lane weaving with
+/// IDM-reactive traffic), plus a seeded ScenarioSampler that mass-produces
+/// suites from them. Sampling follows the same splitmix64 seed discipline
+/// as core::Experiment: scenario `index` of a sampler seeded with `seed`
+/// depends only on (seed, index), never on call order, so a sampled corpus
+/// is bit-identical across runs, platforms, and thread counts.
+///
+/// The coverage-guided mode (sample_covering) closes the loop with
+/// ScenarioCoverage: each slot draws several candidate scenarios and keeps
+/// the one landing in the least-occupied cell of the kinematic grid, so the
+/// corpus spreads over the envelope instead of clustering where the
+/// parameter distributions happen to concentrate.
 #pragma once
 
 #include <cstdint>
@@ -24,16 +25,16 @@
 
 namespace drivefi::scenario {
 
-// Primitive generators. Each draws its parameters (speeds, gaps, timings,
-// traffic density) from `rng` and returns a self-contained scenario named
-// after the primitive; callers that need unique names rename afterwards.
+/// Primitive generators. Each draws its parameters (speeds, gaps, timings,
+/// traffic density) from `rng` and returns a self-contained scenario named
+/// after the primitive; callers that need unique names rename afterwards.
 sim::Scenario gen_lead_brake(util::Rng& rng);
 sim::Scenario gen_cut_in(util::Rng& rng);
 sim::Scenario gen_merge_gap(util::Rng& rng);
 sim::Scenario gen_stop_and_go(util::Rng& rng);
 sim::Scenario gen_multi_lane_weave(util::Rng& rng);
 
-// The registry the sampler cycles over.
+/// The registry the sampler cycles over.
 struct Generator {
   std::string name;
   sim::Scenario (*make)(util::Rng&);
@@ -41,8 +42,8 @@ struct Generator {
 const std::vector<Generator>& generators();
 
 struct SamplerOptions {
-  // Candidates drawn per slot in coverage-guided mode; higher values
-  // trade generation throughput for faster grid fill.
+  /// Candidates drawn per slot in coverage-guided mode; higher values
+  /// trade generation throughput for faster grid fill.
   std::size_t candidates_per_draw = 8;
 };
 
@@ -55,19 +56,19 @@ class ScenarioSampler {
 
   std::uint64_t seed() const { return seed_; }
 
-  // The index-th scenario of this sampler's stream: a pure function of
-  // (seed, index). Picks a generator uniformly, then lets it draw its
-  // parameters from a stream derived via derive_run_seed.
+  /// The index-th scenario of this sampler's stream: a pure function of
+  /// (seed, index). Picks a generator uniformly, then lets it draw its
+  /// parameters from a stream derived via derive_run_seed.
   sim::Scenario sample(std::uint64_t index) const;
 
-  // `count` scenarios, indices [0, count); uniform over generators.
+  /// `count` scenarios, indices [0, count); uniform over generators.
   std::vector<sim::Scenario> sample_suite(std::size_t count) const;
 
-  // Coverage-guided sampling: for each slot draws candidates_per_draw
-  // scenarios and keeps the one whose feature cell currently holds the
-  // fewest scenarios (ties break toward the earliest candidate), recording
-  // it into `coverage`. Deterministic for a given (seed, count, starting
-  // coverage); pass a fresh ScenarioCoverage for a reproducible corpus.
+  /// Coverage-guided sampling: for each slot draws candidates_per_draw
+  /// scenarios and keeps the one whose feature cell currently holds the
+  /// fewest scenarios (ties break toward the earliest candidate), recording
+  /// it into `coverage`. Deterministic for a given (seed, count, starting
+  /// coverage); pass a fresh ScenarioCoverage for a reproducible corpus.
   std::vector<sim::Scenario> sample_covering(std::size_t count,
                                              ScenarioCoverage& coverage) const;
 

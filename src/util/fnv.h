@@ -1,0 +1,38 @@
+// Order-sensitive FNV-1a64 accumulator, the one hash used for campaign
+// identity (manifest config/scenario hashes, Bayesian replay-list
+// pinning). Doubles hash by bit pattern so signed zeros and NaN payloads
+// are distinguished, matching the library-wide representation-equality
+// discipline (util/bits.h).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace drivefi::util {
+
+class Fnv1a {
+ public:
+  void add_byte(std::uint8_t byte) {
+    hash_ ^= byte;
+    hash_ *= 0x100000001b3ULL;
+  }
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) add_byte((v >> (8 * i)) & 0xff);
+  }
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(bool v) { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) {
+    add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  void add(std::string_view s) {
+    for (const char c : s) add_byte(static_cast<std::uint8_t>(c));
+  }
+
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a64 offset basis
+};
+
+}  // namespace drivefi::util

@@ -1,0 +1,21 @@
+// Locale-independent shortest-exact double formatting, shared by every
+// serializer whose output must reparse to the identical bit pattern (.scn
+// suites, the campaign manifest). std::to_chars emits the shortest decimal
+// form that maps back to the exact double ("3.7", never
+// "3.7000000000000002"), and -- unlike snprintf/strtod -- never writes
+// "3,7" under a de_DE LC_NUMERIC and then fails to reparse the library's
+// own files.
+#pragma once
+
+#include <charconv>
+#include <string>
+
+namespace drivefi::util {
+
+inline std::string shortest_double(double v) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+}  // namespace drivefi::util

@@ -6,13 +6,19 @@
 // nothing about scheduling may leak into the results.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/bayes_model.h"
 #include "core/experiment.h"
 #include "core/fault_model.h"
+#include "core/jsonl.h"
+#include "core/manifest.h"
+#include "core/result_store.h"
 #include "core/selector.h"
 #include "util/rng.h"
 
@@ -176,17 +182,8 @@ TEST(Determinism, ForkedReplayBitIdenticalToFullReplay) {
   }
 }
 
-// Drops every "wall_seconds" field (the only legitimately non-
-// deterministic JSONL payload; it is always the record's last field).
-std::string scrub_wall_seconds(std::string jsonl) {
-  const std::string key = ",\"wall_seconds\":";
-  std::size_t pos;
-  while ((pos = jsonl.find(key)) != std::string::npos) {
-    const std::size_t end = jsonl.find('}', pos);
-    jsonl.erase(pos, end - pos);
-  }
-  return jsonl;
-}
+// scrub_wall_seconds (core/jsonl.h) drops the only legitimately non-
+// deterministic JSONL payload before byte comparisons.
 
 TEST(Determinism, ForkedJsonlByteEqualToFullJsonl) {
   const RandomValueModel model(8, 77);
@@ -209,6 +206,113 @@ TEST(Determinism, ForkedJsonlByteEqualToFullJsonl) {
           << " threads";
     }
   }
+}
+
+// Runs the model through `shard_count` durable stores under `dir`,
+// returning the shard file paths (every shard executed in this process --
+// multi-machine fan-out is the same loop with different hostnames).
+std::vector<std::string> run_all_shards(const Experiment& experiment,
+                                        const FaultModel& model,
+                                        std::size_t shard_count,
+                                        const std::string& tag) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    CampaignManifest manifest = make_manifest(experiment, model, "test");
+    manifest.shard_index = i;
+    manifest.shard_count = shard_count;
+    const std::string path =
+        (fs::path(::testing::TempDir()) /
+         ("drivefi_determinism_" + tag + "_" + std::to_string(shard_count) +
+          "_" + std::to_string(i) + ".jsonl"))
+            .string();
+    ShardResultStore store(path, manifest, StoreOpenMode::kOverwrite);
+    experiment.run_shard(model, store);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+TEST(Determinism, ShardedCampaignMergesBitIdenticalToSingleProcess) {
+  // The sharding contract: splitting a campaign into N residue-class
+  // shards, persisting each through a durable store, and merging must be
+  // invisible -- CampaignStats fingerprints AND the canonical JSONL are
+  // byte-equal to the uninterrupted single-process run, at every shard
+  // count (1 = the trivial sharding, 2, 8 > thread count interleavings).
+  const Experiment experiment = make_experiment(4);
+  const RandomValueModel model(10, 2024);
+
+  const std::string base_fp = fingerprint(experiment.run(model));
+  std::ostringstream base_out;
+  {
+    JsonlSink sink(base_out);
+    std::vector<ResultSink*> sinks = {&sink};
+    experiment.run(model, sinks);
+  }
+  const std::string base_jsonl = scrub_wall_seconds(base_out.str());
+
+  for (const std::size_t shard_count :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto paths =
+        run_all_shards(experiment, model, shard_count, "shard");
+    const MergedCampaign merged = merge_shards(paths);
+    EXPECT_EQ(base_fp, fingerprint(merged.stats))
+        << "stats diverged at " << shard_count << " shards";
+    std::ostringstream merged_out;
+    write_merged_jsonl(merged, merged_out);
+    EXPECT_EQ(base_jsonl, scrub_wall_seconds(merged_out.str()))
+        << "JSONL diverged at " << shard_count << " shards";
+  }
+}
+
+TEST(Determinism, KillThenResumeBitIdenticalToUninterrupted) {
+  // Mid-campaign kill: shard 1 of 2 executes part of its work, the process
+  // dies mid-append (torn trailing line), and a --resume run finishes only
+  // the missing indices. The merged campaign must be byte-equal to the
+  // uninterrupted single-process run.
+  namespace fs = std::filesystem;
+  const Experiment experiment = make_experiment(2);
+  const BitFlipModel model(9, 99, /*bits=*/2);
+
+  const std::string base_fp = fingerprint(experiment.run(model));
+
+  // Shard 0/2 runs to completion in one sitting.
+  CampaignManifest manifest0 = make_manifest(experiment, model, "test");
+  manifest0.shard_index = 0;
+  manifest0.shard_count = 2;
+  const std::string path0 =
+      (fs::path(::testing::TempDir()) / "drivefi_kill_s0.jsonl").string();
+  {
+    ShardResultStore store(path0, manifest0, StoreOpenMode::kOverwrite);
+    experiment.run_shard(model, store);
+  }
+
+  // Shard 1/2 "crashes" after two runs, mid-append of a third.
+  CampaignManifest manifest1 = manifest0;
+  manifest1.shard_index = 1;
+  const std::string path1 =
+      (fs::path(::testing::TempDir()) / "drivefi_kill_s1.jsonl").string();
+  {
+    ShardResultStore store(path1, manifest1, StoreOpenMode::kOverwrite);
+    store.append(experiment.execute(model.spec(1, experiment)));
+    store.append(experiment.execute(model.spec(3, experiment)));
+  }
+  {
+    std::ofstream torn(path1, std::ios::binary | std::ios::app);
+    torn << "{\"type\":\"run\",\"run_index\":5,\"descripti";
+  }
+
+  // Resume executes exactly the missing indices {5, 7} of shard 1.
+  {
+    ShardResultStore store(path1, manifest1, StoreOpenMode::kResume);
+    EXPECT_EQ(store.completed(), (std::set<std::size_t>{1, 3}));
+    const CampaignStats resumed = experiment.run_shard(model, store);
+    EXPECT_EQ(resumed.total(), 2u);
+  }
+
+  const MergedCampaign merged = merge_shards({path0, path1});
+  EXPECT_EQ(base_fp, fingerprint(merged.stats))
+      << "kill/resume campaign diverged from the uninterrupted run";
 }
 
 TEST(Determinism, ThreadCountDoesNotLeakIntoSpecs) {
