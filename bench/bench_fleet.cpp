@@ -1,0 +1,193 @@
+// Measures the cost of fleet orchestration: a coordinator + N in-process
+// workers versus the single-process campaign, and enforces the contract
+// that the merged fleet output is bit-identical. Writes BENCH_fleet.json
+// and exits nonzero if
+//   - the fleet campaign diverges from the baseline in any bit, or
+//   - fleet wall clock exceeds `max_overhead_ratio` x the ideal time
+//     (baseline / effective parallelism) -- the leasing, framing, and
+//     store round trips must stay cheap relative to the simulation work.
+//
+//   ./bench_fleet [runs] [workers] [out.json] [max_overhead_ratio]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/coordinator.h"
+#include "coord/worker.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "core/jsonl.h"
+#include "core/manifest.h"
+#include "core/result_sink.h"
+#include "core/result_store.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+namespace fs = std::filesystem;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string campaign_jsonl(const core::Experiment& experiment,
+                           const core::FaultModel& model) {
+  std::ostringstream out;
+  core::JsonlSink sink(out);
+  std::vector<core::ResultSink*> sinks = {&sink};
+  experiment.run(model, sinks);
+  return core::scrub_wall_seconds(out.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned hardware_threads = core::resolve_thread_count(0);
+  std::size_t runs = 48;
+  // Workers are threads of this process; by default never oversubscribe
+  // the host, or the overhead ratio measures time-slicing, not
+  // orchestration (the same honesty rule as bench_parallel_scaling).
+  std::size_t workers = std::min<std::size_t>(3, hardware_threads);
+  std::string json_path = "BENCH_fleet.json";
+  double max_overhead_ratio = 2.0;
+  if (argc > 1) runs = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) workers = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) json_path = argv[3];
+  if (argc > 4) max_overhead_ratio = std::atof(argv[4]);
+  if (workers > hardware_threads)
+    std::fprintf(stderr,
+                 "warning: %zu workers on %u hardware threads -- the "
+                 "overhead ratio will include time-slicing contention\n",
+                 workers, hardware_threads);
+  const fs::path dir = fs::temp_directory_path() / "drivefi_bench_fleet";
+  fs::create_directories(dir);
+
+  // Single-threaded engine: the fleet's parallelism should come from its
+  // workers, so each worker runs one executor thread and the comparison
+  // against the 1-thread baseline isolates orchestration overhead.
+  const std::vector<sim::Scenario> suite = {sim::base_suite()[1],
+                                            sim::base_suite()[2]};
+  ads::PipelineConfig config;
+  config.seed = 11;
+  core::ExperimentOptions options;
+  options.executor.threads = 1;
+  const core::Experiment experiment(suite, config, {}, options);
+  const core::RandomValueModel model(runs, 1234);
+
+  // ---- baseline: single process, in memory -------------------------------
+  std::printf("baseline: %zu-run single-process campaign (1 thread)...\n",
+              runs);
+  const core::CampaignStats baseline = experiment.run(model);
+  const std::string base_fp = core::campaign_fingerprint(baseline);
+  const std::string base_jsonl = campaign_jsonl(experiment, model);
+  std::printf("  %.3f s (%.1f runs/s)\n", baseline.wall_seconds,
+              static_cast<double>(runs) / baseline.wall_seconds);
+
+  // ---- fleet: coordinator + N worker clients -----------------------------
+  const core::CampaignManifest manifest =
+      core::make_manifest(experiment, model, "bench:fleet");
+  const std::string master_path = (dir / "master.jsonl").string();
+  core::ShardResultStore master(master_path, manifest,
+                                core::StoreOpenMode::kOverwrite);
+
+  coord::CoordinatorConfig coord_config;
+  coord_config.lease_runs = std::max<std::size_t>(1, runs / (workers * 4));
+  coord_config.tick_seconds = 0.01;
+  coord_config.print_progress = false;
+  coord::Coordinator coordinator(manifest, master, coord_config);
+
+  std::printf("fleet: %zu workers, lease %zu runs, port %u...\n", workers,
+              coord_config.lease_runs, coordinator.port());
+  const auto fleet_start = std::chrono::steady_clock::now();
+  coord::FleetStats fleet;
+  std::thread coordinator_thread([&] { fleet = coordinator.serve(); });
+
+  std::vector<std::thread> worker_threads;
+  for (std::size_t w = 0; w < workers; ++w) {
+    worker_threads.emplace_back([&, w] {
+      coord::WorkerConfig worker_config;
+      worker_config.port = coordinator.port();
+      worker_config.name = "bench-w" + std::to_string(w);
+      worker_config.store_path =
+          (dir / ("worker" + std::to_string(w) + ".jsonl")).string();
+      coord::WorkerClient worker(experiment, model, "bench:fleet",
+                                 worker_config);
+      worker.run();
+    });
+  }
+  for (std::thread& thread : worker_threads) thread.join();
+  coordinator_thread.join();
+  const double fleet_wall = seconds_since(fleet_start);
+
+  // ---- identity + overhead gates -----------------------------------------
+  const core::MergedCampaign merged = core::merge_shards({master_path});
+  std::ostringstream merged_out;
+  core::write_merged_jsonl(merged, merged_out);
+  const bool identical =
+      core::campaign_fingerprint(merged.stats) == base_fp &&
+      core::scrub_wall_seconds(merged_out.str()) == base_jsonl;
+
+  // Workers are threads of THIS process, so effective parallelism is
+  // bounded by the physical core count as well as the worker count.
+  const double effective_parallelism = static_cast<double>(
+      std::min<std::size_t>(workers, hardware_threads));
+  const double ideal_wall = baseline.wall_seconds / effective_parallelism;
+  const double speedup =
+      fleet_wall > 0.0 ? baseline.wall_seconds / fleet_wall : 0.0;
+  const double overhead_ratio = ideal_wall > 0.0 ? fleet_wall / ideal_wall : 0.0;
+
+  std::printf("fleet: %.3f s wall (ideal %.3f s at parallelism %.0f) -> "
+              "speedup %.2fx, overhead ratio %.2f (max %.2f)\n",
+              fleet_wall, ideal_wall, effective_parallelism, speedup,
+              overhead_ratio, max_overhead_ratio);
+  std::printf("  %zu runs stored, %zu duplicates dropped, %zu leases "
+              "granted / %zu expired / %zu stolen, identical=%s\n",
+              fleet.runs_completed, fleet.duplicates_dropped,
+              fleet.leases_granted, fleet.leases_expired, fleet.leases_stolen,
+              identical ? "true" : "false");
+
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"fleet\",\n  \"runs\": " << runs
+      << ",\n  \"hardware_threads\": " << hardware_threads
+      << ",\n  \"workers\": " << workers
+      << ",\n  \"lease_runs\": " << coord_config.lease_runs
+      << ",\n  \"baseline_wall_seconds\": " << baseline.wall_seconds
+      << ",\n  \"fleet_wall_seconds\": " << fleet_wall
+      << ",\n  \"speedup\": " << speedup
+      << ",\n  \"effective_parallelism\": " << effective_parallelism
+      << ",\n  \"overhead_ratio\": " << overhead_ratio
+      << ",\n  \"max_overhead_ratio\": " << max_overhead_ratio
+      << ",\n  \"leases_granted\": " << fleet.leases_granted
+      << ",\n  \"leases_expired\": " << fleet.leases_expired
+      << ",\n  \"leases_stolen\": " << fleet.leases_stolen
+      << ",\n  \"duplicates_dropped\": " << fleet.duplicates_dropped
+      << ",\n  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!identical) {
+    std::printf("FAIL: fleet campaign diverged from the baseline\n");
+    return 1;
+  }
+  if (overhead_ratio > max_overhead_ratio) {
+    std::printf("FAIL: fleet overhead ratio %.2f exceeds %.2f\n",
+                overhead_ratio, max_overhead_ratio);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -34,6 +34,19 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
   const std::string out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
 
+  // Honesty gate: on a single-hardware-thread host every row collapses to
+  // speedup ~1.0. Recording that as scaling data would poison the
+  // trajectory later perf PRs compare against, so refuse to run instead of
+  // quietly emitting a meaningless BENCH_parallel.json.
+  if (core::resolve_thread_count(0) == 1) {
+    std::fprintf(stderr,
+                 "error: this host exposes a single hardware thread, so a "
+                 "thread-scaling bench cannot measure anything -- every "
+                 "speedup would be ~1.0 by construction. Run "
+                 "bench_parallel_scaling on a multi-core host.\n");
+    return 1;
+  }
+
   std::printf("parallel scaling: %zu random value injections per thread "
               "count (host has %u hardware threads)\n",
               budget, core::resolve_thread_count(0));

@@ -1,23 +1,10 @@
 // drivefi_campaign: the unified campaign CLI -- one entry point for
-// running, sharding, resuming, and merging fault-injection campaigns,
-// subsuming the per-example flag sprawl of mine_critical_faults and
-// random_vs_bayesian.
+// running, sharding, resuming, merging, and fleet-working fault-injection
+// campaigns, subsuming the per-example flag sprawl of mine_critical_faults
+// and random_vs_bayesian.
 //
-//   drivefi_campaign run [options]
-//     --model M            random-value | random-bitflip | bayesian
-//                          (default: random-value)
-//     --runs N             campaign size for the random models (default 60)
-//     --seed S             campaign seed (default 1234)
-//     --bits B             flipped bits per injection, random-bitflip only
-//     --replays N          bayesian: replay the top N of F_crit (default 25)
-//     --load-bn FILE       bayesian: reuse a fitted predictor (no refit)
-//     --save-bn FILE       bayesian: persist the fitted predictor
-//     --scn FILE           load the scenario corpus from a .scn suite
-//     --scenarios K        truncate the corpus to its first K scenarios
-//     --pipeline-seed S    sensor-noise seed (default 7)
-//     --threads N          worker threads (0 = all hardware)
-//     --fork / --no-fork   fork-from-golden replay (default: on)
-//     --checkpoint-stride N  scenes between golden checkpoints (default 4)
+//   drivefi_campaign run [campaign options] [run options]
+//     (campaign options: see campaign_cli.h / docs/FORMATS.md)
 //     --shard i/N          run only indices {r : r % N == i} (default 0/1)
 //     --store FILE         shard store path (default campaign.shard<i>.jsonl)
 //     --resume             continue a crashed/partial store instead of
@@ -25,6 +12,17 @@
 //     --overwrite          explicitly discard an existing store; without it
 //                          (or --resume) a store already holding records is
 //                          refused, never silently clobbered
+//     --progress           live status line (runs/s, ETA) on stderr
+//
+//   drivefi_campaign worker --connect HOST:PORT [campaign options]
+//     --store FILE         local scratch store (default <name>.local.jsonl)
+//     --name NAME          worker display name (default worker-<pid>)
+//     Joins a drivefi_campaignd fleet: the campaign options MUST match the
+//     daemon's (the manifest hash in the hello is checked), the worker
+//     pulls leases of run indices, executes them locally, and streams each
+//     record back as it completes. Run as many workers as you have cores
+//     or machines; kill any of them freely -- their leases are re-granted
+//     and the merged campaign is byte-identical regardless.
 //
 //   drivefi_campaign merge --jsonl OUT.jsonl SHARD.jsonl [SHARD.jsonl ...]
 //     Validates the shard set (same campaign, no duplicates, complete
@@ -36,23 +34,24 @@
 //   machine B:  drivefi_campaign run --runs 100000 --shard 1/2 --store b.jsonl
 //   anywhere:   drivefi_campaign merge --jsonl campaign.jsonl a.jsonl b.jsonl
 // and a crash on either machine is recovered by re-running with --resume.
+// The fleet equivalent (dynamic load balancing, no up-front sharding):
+//   anywhere:   drivefi_campaignd --runs 100000 --listen 0.0.0.0:7070
+//   each box:   drivefi_campaign worker --connect coord:7070 --runs 100000
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/bayes_model.h"
-#include "core/experiment.h"
-#include "core/fault_model.h"
+#include "campaign_cli.h"
+#include "coord/worker.h"
 #include "core/manifest.h"
+#include "core/progress.h"
 #include "core/report.h"
 #include "core/result_store.h"
-#include "core/selector.h"
-#include "scenario/dsl.h"
-#include "sim/scenario.h"
 
 using namespace drivefi;
 
@@ -60,28 +59,21 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s run [options] | %s merge --jsonl OUT SHARD...\n"
+               "usage: %s run [options] | %s worker --connect HOST:PORT "
+               "[options] | %s merge --jsonl OUT SHARD...\n"
                "(see the header of examples/drivefi_campaign.cpp or\n"
                " docs/FORMATS.md for the full option list)\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
 int cmd_run(int argc, char** argv) {
-  std::string model_name = "random-value";
-  std::size_t runs = 60;
-  std::uint64_t seed = 1234;
-  unsigned bits = 1;
-  std::size_t replays = 25;
-  std::string load_bn, save_bn, scn_path, store_path;
-  std::size_t scenarios_limit = 0;
-  std::uint64_t pipeline_seed = 7;
-  unsigned threads = 0;
-  bool fork_replays = true;
-  std::size_t checkpoint_stride = 4;
+  campaign_cli::CampaignArgs args;
+  std::string store_path;
   std::size_t shard_index = 0, shard_count = 1;
   bool resume = false;
   bool overwrite = false;
+  bool progress = false;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,23 +84,11 @@ int cmd_run(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--model") model_name = next();
-    else if (arg == "--runs") runs = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else if (arg == "--bits") bits = static_cast<unsigned>(std::atoi(next()));
-    else if (arg == "--replays") replays = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--load-bn") load_bn = next();
-    else if (arg == "--save-bn") save_bn = next();
-    else if (arg == "--scn") scn_path = next();
-    else if (arg == "--scenarios") scenarios_limit = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--pipeline-seed") pipeline_seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else if (arg == "--threads") threads = static_cast<unsigned>(std::atoi(next()));
-    else if (arg == "--fork") fork_replays = true;
-    else if (arg == "--no-fork") fork_replays = false;
-    else if (arg == "--checkpoint-stride") checkpoint_stride = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--store") store_path = next();
+    if (campaign_cli::parse_campaign_flag(args, arg, next)) continue;
+    if (arg == "--store") store_path = next();
     else if (arg == "--resume") resume = true;
     else if (arg == "--overwrite") overwrite = true;
+    else if (arg == "--progress") progress = true;
     else if (arg == "--shard") {
       const std::string value = next();
       const std::size_t slash = value.find('/');
@@ -151,67 +131,11 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
-  // -- scenario corpus ----------------------------------------------------
-  std::vector<sim::Scenario> suite =
-      scn_path.empty() ? sim::base_suite() : scenario::load_suite(scn_path);
-  std::string scenario_spec = scn_path.empty() ? "builtin:base" : scn_path;
-  if (scenarios_limit > 0 && scenarios_limit < suite.size()) {
-    suite.resize(scenarios_limit);
-    scenario_spec += ":" + std::to_string(scenarios_limit);
-  }
-
-  ads::PipelineConfig config;
-  config.seed = pipeline_seed;
-  core::ExperimentOptions options;
-  options.executor.threads = threads;
-  options.fork_replays = fork_replays;
-  options.checkpoint_stride = checkpoint_stride;
-
-  std::printf("running %zu golden scenarios (%s)...\n", suite.size(),
-              scenario_spec.c_str());
-  const core::Experiment experiment(suite, config, {}, options);
-
-  // -- fault model --------------------------------------------------------
-  std::unique_ptr<core::FaultModel> model;
-  if (model_name == "random-value") {
-    model = std::make_unique<core::RandomValueModel>(runs, seed);
-  } else if (model_name == "random-bitflip") {
-    model = std::make_unique<core::BitFlipModel>(runs, seed, bits);
-  } else if (model_name == "bayesian") {
-    core::BayesianCampaignConfig campaign;
-    campaign.max_replays = replays;
-    campaign.selection.executor.threads = threads;
-    std::unique_ptr<core::BayesianFaultModel> bayes;
-    if (!load_bn.empty()) {
-      std::printf("loading fitted predictor from %s (no refit)...\n",
-                  load_bn.c_str());
-      auto predictor = std::make_shared<const core::SafetyPredictor>(
-          core::load_predictor(load_bn));
-      bayes = std::make_unique<core::BayesianFaultModel>(experiment, predictor,
-                                                         campaign);
-    } else {
-      std::printf("fitting the %d-TBN on golden traces...\n",
-                  campaign.predictor.slices);
-      bayes = std::make_unique<core::BayesianFaultModel>(experiment, campaign);
-    }
-    if (!save_bn.empty()) {
-      core::save_predictor(bayes->predictor(), save_bn);
-      std::printf("saved fitted predictor to %s\n", save_bn.c_str());
-    }
-    const core::SelectionResult& selection = bayes->selection();
-    std::printf("Bayesian selection: %zu critical faults (%zu BN inferences, "
-                "replaying top %zu)\n",
-                selection.critical.size(), selection.inference_calls,
-                bayes->run_count());
-    model = std::move(bayes);
-  } else {
-    std::fprintf(stderr, "error: unknown model %s\n", model_name.c_str());
-    return 2;
-  }
+  campaign_cli::CampaignSetup setup = campaign_cli::build_campaign(args, false);
 
   // -- manifest + durable shard store ---------------------------------------
-  core::CampaignManifest manifest =
-      core::make_manifest(experiment, *model, scenario_spec);
+  core::CampaignManifest manifest = core::make_manifest(
+      *setup.experiment, *setup.model, setup.scenario_spec);
   manifest.shard_index = shard_index;
   manifest.shard_count = shard_count;
 
@@ -226,7 +150,11 @@ int cmd_run(int argc, char** argv) {
 
   std::printf("shard %zu/%zu of %zu planned runs -> %s\n", shard_index,
               shard_count, manifest.planned_runs, store_path.c_str());
-  const core::CampaignStats stats = experiment.run_shard(*model, store);
+  core::ProgressSink progress_sink(std::cerr);
+  std::vector<core::ResultSink*> sinks;
+  if (progress) sinks.push_back(&progress_sink);
+  const core::CampaignStats stats =
+      setup.experiment->run_shard(*setup.model, store, sinks);
   core::outcome_table(stats).print("shard outcomes (this sitting)");
   std::printf("executed %zu runs in %.2f s; store now holds %zu records\n",
               stats.total(), stats.wall_seconds, store.completed().size());
@@ -236,6 +164,51 @@ int cmd_run(int argc, char** argv) {
   else
     std::printf("finalize: drivefi_campaign merge --jsonl campaign.jsonl %s\n",
                 store_path.c_str());
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  campaign_cli::CampaignArgs args;
+  coord::WorkerConfig config;
+  bool have_connect = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (campaign_cli::parse_campaign_flag(args, arg, next)) continue;
+    if (arg == "--connect") {
+      campaign_cli::parse_host_port(next(), &config.host, &config.port);
+      have_connect = true;
+    } else if (arg == "--store") config.store_path = next();
+    else if (arg == "--name") config.name = next();
+    else {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!have_connect) {
+    std::fprintf(stderr, "error: worker needs --connect HOST:PORT\n");
+    return 2;
+  }
+  config.threads = args.threads;
+
+  campaign_cli::CampaignSetup setup = campaign_cli::build_campaign(args, false);
+  coord::WorkerClient worker(*setup.experiment, *setup.model,
+                             setup.scenario_spec, config);
+  std::printf("worker %s: local store %s, connecting to %s:%u\n",
+              worker.config().name.c_str(), worker.config().store_path.c_str(),
+              worker.config().host.c_str(), worker.config().port);
+  const coord::WorkerStats stats = worker.run();
+  std::printf("worker done: %zu runs executed, %zu leases completed, %zu "
+              "revoked, %.2f s\n",
+              stats.runs_executed, stats.leases_completed,
+              stats.leases_revoked, stats.wall_seconds);
   return 0;
 }
 
@@ -285,6 +258,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "run") return cmd_run(argc - 2, argv + 2);
+    if (command == "worker") return cmd_worker(argc - 2, argv + 2);
     if (command == "merge") return cmd_merge(argc - 2, argv + 2);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

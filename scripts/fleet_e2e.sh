@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end fleet campaign with a real SIGKILL: start drivefi_campaignd,
+# attach three worker processes, kill one of them (-9) once it has streamed
+# at least one record, let the survivors finish, and require the merged
+# campaign JSONL to be byte-identical (wall_seconds scrubbed) to a
+# single-process reference run of the same campaign.
+#
+#   scripts/fleet_e2e.sh BUILD_DIR [RUNS]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: fleet_e2e.sh BUILD_DIR [RUNS]}
+RUNS=${2:-36}
+CAMPAIGN_FLAGS=(--runs "$RUNS" --scenarios 2 --seed 1234 --threads 1)
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/drivefi_fleet_e2e.XXXXXX")
+COORD_PID=""
+WORKER_PIDS=()
+cleanup() {
+  [ -n "$COORD_PID" ] && kill "$COORD_PID" 2>/dev/null || true
+  for pid in "${WORKER_PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+scrub() {
+  # wall_seconds is always a record's LAST field; dropping it leaves every
+  # deterministic byte in place.
+  sed -E 's/,"wall_seconds":[^}]*//' "$1"
+}
+
+echo "== single-process reference ($RUNS runs) =="
+"$BUILD_DIR/drivefi_campaign" run "${CAMPAIGN_FLAGS[@]}" \
+  --store "$WORK/ref.store.jsonl" --overwrite > /dev/null
+"$BUILD_DIR/drivefi_campaign" merge --jsonl "$WORK/ref.jsonl" \
+  "$WORK/ref.store.jsonl" > /dev/null
+
+echo "== coordinator =="
+"$BUILD_DIR/drivefi_campaignd" "${CAMPAIGN_FLAGS[@]}" \
+  --listen 127.0.0.1:0 --port-file "$WORK/port" \
+  --store "$WORK/master.jsonl" --overwrite \
+  --lease-runs 4 --heartbeat-timeout 3 \
+  --jsonl "$WORK/fleet.jsonl" --quiet > "$WORK/coordinator.log" 2>&1 &
+COORD_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  kill -0 "$COORD_PID" 2>/dev/null || {
+    echo "FAIL: coordinator died during startup"; cat "$WORK/coordinator.log"; exit 1; }
+  sleep 0.2
+done
+PORT=$(cat "$WORK/port")
+echo "coordinator on port $PORT"
+
+echo "== 3 workers =="
+for w in 1 2 3; do
+  "$BUILD_DIR/drivefi_campaign" worker --connect "127.0.0.1:$PORT" \
+    "${CAMPAIGN_FLAGS[@]}" --name "w$w" --store "$WORK/w$w.local.jsonl" \
+    > "$WORK/w$w.log" 2>&1 &
+  WORKER_PIDS+=($!)
+done
+
+# Wait until worker 1 has at least one run record in its local store (one
+# manifest line + >=1 record lines), then SIGKILL it mid-campaign.
+VICTIM=${WORKER_PIDS[0]}
+for _ in $(seq 1 300); do
+  lines=0
+  [ -f "$WORK/w1.local.jsonl" ] && lines=$(wc -l < "$WORK/w1.local.jsonl")
+  [ "$lines" -ge 2 ] && break
+  kill -0 "$VICTIM" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -9 "$VICTIM" 2>/dev/null; then
+  echo "SIGKILLed worker 1 (pid $VICTIM) after $((lines - 1)) records"
+else
+  echo "WARN: worker 1 exited before the kill landed; campaign still valid"
+fi
+
+echo "== waiting for the campaign =="
+wait "$COORD_PID" || {
+  echo "FAIL: coordinator exited nonzero"; cat "$WORK/coordinator.log"; exit 1; }
+COORD_PID=""
+for pid in "${WORKER_PIDS[@]:1}"; do
+  wait "$pid" || { echo "FAIL: a surviving worker exited nonzero"; exit 1; }
+done
+WORKER_PIDS=()
+
+echo "== byte-identity =="
+if ! diff <(scrub "$WORK/ref.jsonl") <(scrub "$WORK/fleet.jsonl"); then
+  echo "FAIL: fleet campaign JSONL diverged from the single-process reference"
+  exit 1
+fi
+grep -E "fleet campaign complete" "$WORK/coordinator.log" || true
+echo "PASS: fleet output byte-identical to the single-process campaign"

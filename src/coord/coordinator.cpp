@@ -1,0 +1,300 @@
+#include "coord/coordinator.h"
+
+#include <poll.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "coord/protocol.h"
+#include "core/progress.h"
+#include "core/result_store.h"
+
+namespace drivefi::coord {
+
+struct Coordinator::Connection {
+  explicit Connection(net::TcpSocket socket) : msg(std::move(socket)) {}
+
+  net::MessageConnection msg;
+  std::string worker;        // set by hello
+  bool hello_done = false;
+  bool defunct = false;      // drop after the current drain
+};
+
+Coordinator::Coordinator(const core::CampaignManifest& manifest,
+                         core::ShardResultStore& store,
+                         CoordinatorConfig config)
+    : manifest_(manifest),
+      store_(store),
+      config_(std::move(config)),
+      listener_(config_.host, config_.port),
+      // Pending work = planned runs minus whatever the master store already
+      // holds; a restarted coordinator resumes from here for free.
+      ledger_(
+          [&] {
+            std::vector<std::size_t> pending;
+            pending.reserve(manifest.planned_runs);
+            for (std::size_t r = 0; r < manifest.planned_runs; ++r)
+              if (!store.contains(r)) pending.push_back(r);
+            return pending;
+          }(),
+          config_.lease_runs, config_.heartbeat_timeout),
+      manifest_hash_(manifest_compat_hash(manifest)) {
+  if (manifest_.shard_index != 0 || manifest_.shard_count != 1)
+    throw std::invalid_argument(
+        "coordinator: the master store must use shard coordinates 0/1 (it IS "
+        "the merged campaign)");
+  const std::string reason = manifest_.mismatch_reason(store_.manifest());
+  if (!reason.empty())
+    throw std::invalid_argument(
+        "coordinator: store manifest does not match the campaign: " + reason);
+}
+
+Coordinator::~Coordinator() = default;
+
+double Coordinator::now_seconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+FleetStats Coordinator::serve() {
+  started_ = now_seconds();
+  completed_at_start_ = store_.completed().size();
+  last_progress_ = -1.0;
+
+  while (!stop_.load() &&
+         store_.completed().size() < manifest_.planned_runs) {
+    // ---- wait for sockets or the tick --------------------------------
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 1);
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& conn : connections_)
+      fds.push_back({conn->msg.socket().fd(), POLLIN, 0});
+    const int timeout_ms =
+        static_cast<int>(config_.tick_seconds * 1000.0) + 1;
+    ::poll(fds.data(), fds.size(), timeout_ms);  // EINTR: just tick early
+
+    // ---- new workers -------------------------------------------------
+    if ((fds[0].revents & POLLIN) != 0) {
+      while (auto socket = listener_.accept(0.0))
+        connections_.push_back(
+            std::make_unique<Connection>(std::move(*socket)));
+    }
+
+    // ---- drain every readable connection -----------------------------
+    for (auto& conn : connections_) {
+      if (conn->defunct) continue;
+      try {
+        std::string line;
+        for (;;) {
+          const net::RecvStatus status = conn->msg.recv_line(&line, 0.0);
+          if (status == net::RecvStatus::kTimeout) break;
+          if (status == net::RecvStatus::kClosed) {
+            conn->defunct = true;
+            break;
+          }
+          handle_message(*conn, line);
+          if (conn->defunct) break;
+        }
+      } catch (const std::exception& error) {
+        // Socket death or a corrupt stream: this worker is gone. Its
+        // leases go back to pending; the campaign carries on.
+        if (config_.print_progress)
+          std::fprintf(stderr, "\ncoordinator: dropping %s: %s\n",
+                       conn->worker.empty() ? "<pre-hello>"
+                                            : conn->worker.c_str(),
+                       error.what());
+        conn->defunct = true;
+      }
+    }
+
+    // ---- reap dropped connections ------------------------------------
+    for (std::size_t i = 0; i < connections_.size();) {
+      if (!connections_[i]->defunct) {
+        ++i;
+        continue;
+      }
+      if (!connections_[i]->worker.empty())
+        ledger_.release_worker(connections_[i]->worker);
+      connections_.erase(connections_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    }
+
+    // ---- expire straggler leases (work stealing, half 1) -------------
+    const double now = now_seconds();
+    const auto expired = ledger_.expire(now);
+    if (!expired.empty() && config_.print_progress)
+      for (const Lease& lease : expired)
+        std::fprintf(stderr,
+                     "\ncoordinator: lease %llu (%s) missed its heartbeat; "
+                     "%zu runs re-queued\n",
+                     static_cast<unsigned long long>(lease.id),
+                     lease.worker.c_str(), lease.run_indices.size());
+
+    maybe_print_progress(now, false);
+  }
+
+  // ---- completion: tell everyone, then hang up -----------------------
+  const bool complete = store_.completed().size() == manifest_.planned_runs;
+  for (auto& conn : connections_) {
+    try {
+      if (complete) conn->msg.send_line(encode(CompleteMsg{}));
+    } catch (const std::exception&) {
+      // Peer already gone; nothing to clean up beyond the socket itself.
+    }
+  }
+  connections_.clear();
+
+  maybe_print_progress(now_seconds(), true);
+  if (config_.print_progress) std::fprintf(stderr, "\n");
+
+  stats_.leases_granted = ledger_.leases_granted();
+  stats_.leases_expired = ledger_.leases_expired();
+  stats_.leases_stolen = ledger_.leases_stolen();
+  stats_.workers_seen = worker_threads_.size();
+  stats_.wall_seconds = now_seconds() - started_;
+  return stats_;
+}
+
+void Coordinator::handle_message(Connection& conn, const std::string& line) {
+  const std::string type = message_type(line);
+
+  if (!conn.hello_done) {
+    if (type != "hello") {
+      conn.msg.send_line(encode(ErrorMsg{"expected hello, got " + type}));
+      conn.defunct = true;
+      return;
+    }
+    const HelloMsg hello = parse_hello(line);
+    if (hello.protocol != kProtocolVersion) {
+      conn.msg.send_line(encode(ErrorMsg{
+          "protocol version " + std::to_string(hello.protocol) +
+          " not supported (coordinator speaks " +
+          std::to_string(kProtocolVersion) + ")"}));
+      conn.defunct = true;
+      return;
+    }
+    if (hello.manifest_hash != manifest_hash_) {
+      // The fleet-level analogue of the shard store refusing a mismatched
+      // manifest: a worker configured for a different campaign (other
+      // seed, corpus, model, pipeline config) never gets work.
+      conn.msg.send_line(encode(ErrorMsg{
+          "campaign manifest mismatch: worker hash " +
+          std::to_string(hello.manifest_hash) + " != coordinator hash " +
+          std::to_string(manifest_hash_) +
+          " (different model/seed/corpus/config?)"}));
+      conn.defunct = true;
+      return;
+    }
+    conn.worker = hello.worker;
+    conn.hello_done = true;
+    worker_threads_[hello.worker] = hello.threads;
+    WelcomeMsg welcome;
+    welcome.planned_runs = manifest_.planned_runs;
+    welcome.completed_runs = store_.completed().size();
+    welcome.heartbeat_timeout = config_.heartbeat_timeout;
+    conn.msg.send_line(encode(welcome));
+    return;
+  }
+
+  if (type == "lease_request") {
+    if (store_.completed().size() >= manifest_.planned_runs) {
+      conn.msg.send_line(encode(CompleteMsg{}));
+      return;
+    }
+    if (auto lease = ledger_.grant(conn.worker, now_seconds())) {
+      LeaseMsg msg;
+      msg.lease_id = lease->id;
+      msg.run_indices = lease->run_indices;
+      conn.msg.send_line(encode(msg));
+    } else {
+      WaitMsg wait;
+      wait.seconds = config_.heartbeat_timeout / 4.0;
+      conn.msg.send_line(encode(wait));
+    }
+    return;
+  }
+
+  if (type == "heartbeat") {
+    const HeartbeatMsg hb = parse_heartbeat(line);
+    HeartbeatAckMsg ack;
+    ack.lease_id = hb.lease_id;
+    ack.lease_valid =
+        ledger_.heartbeat(hb.lease_id, conn.worker, hb.done, now_seconds());
+    conn.msg.send_line(encode(ack));
+    return;
+  }
+
+  if (type == "record") {
+    const RecordMsg msg = parse_record(line);
+    const core::InjectionRecord record =
+        core::parse_run_record(msg.record_jsonl);
+    if (record.run_index >= manifest_.planned_runs) {
+      conn.msg.send_line(encode(ErrorMsg{
+          "record run_index " + std::to_string(record.run_index) +
+          " is outside the campaign"}));
+      conn.defunct = true;
+      return;
+    }
+    if (store_.contains(record.run_index)) {
+      // The determinism dividend: a duplicate (steal race, late ack from a
+      // presumed-dead worker, re-executed reclaimed lease) is byte-equal
+      // to the stored copy, so dropping it is a no-op, never corruption.
+      ++stats_.duplicates_dropped;
+    } else {
+      store_.append(record);  // THE merge step, durable per record
+      ++stats_.runs_completed;
+    }
+    ledger_.note_stored(record.run_index);
+    return;
+  }
+
+  if (type == "lease_done") {
+    const LeaseDoneMsg done = parse_lease_done(line);
+    LeaseAckMsg ack;
+    ack.lease_id = done.lease_id;
+    ack.accepted =
+        ledger_.lease_done(done.lease_id, conn.worker) == DoneVerdict::kAccepted;
+    conn.msg.send_line(encode(ack));
+    return;
+  }
+
+  conn.msg.send_line(encode(ErrorMsg{"unknown message type " + type}));
+  conn.defunct = true;
+}
+
+void Coordinator::maybe_print_progress(double now, bool force) {
+  if (!config_.print_progress) return;
+  if (!force && last_progress_ >= 0.0 && now - last_progress_ < 1.0) return;
+  last_progress_ = now;
+
+  const std::size_t completed = store_.completed().size();
+  const double elapsed = now - started_;
+  const double rate =
+      elapsed > 0.0
+          ? static_cast<double>(completed - completed_at_start_) / elapsed
+          : 0.0;
+  const double eta =
+      completed >= manifest_.planned_runs
+          ? 0.0
+          : (rate > 0.0 ? static_cast<double>(manifest_.planned_runs -
+                                              completed) /
+                              rate
+                        : -1.0);
+
+  // Per-worker lag: active lease sizes tell us who is holding the tail.
+  std::ostringstream workers;
+  for (const auto& [id, lease] : ledger_.active_leases())
+    workers << "  " << lease.worker << ":" << lease.reported_done << "/"
+            << lease.run_indices.size() + lease.reported_done;
+  std::fprintf(stderr, "\rfleet: %s%s   ",
+               core::format_progress(completed, manifest_.planned_runs, rate,
+                                     eta)
+                   .c_str(),
+               workers.str().c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace drivefi::coord

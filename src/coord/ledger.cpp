@@ -1,0 +1,154 @@
+#include "coord/ledger.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drivefi::coord {
+
+LeaseLedger::LeaseLedger(std::vector<std::size_t> pending,
+                         std::size_t lease_runs, double heartbeat_timeout)
+    : pending_(pending.begin(), pending.end()),
+      lease_runs_(lease_runs == 0 ? 1 : lease_runs),
+      heartbeat_timeout_(heartbeat_timeout) {
+  if (heartbeat_timeout_ <= 0.0)
+    throw std::invalid_argument("ledger: heartbeat timeout must be positive");
+}
+
+std::optional<Lease> LeaseLedger::grant(const std::string& worker,
+                                        double now) {
+  if (pending_.empty()) return steal(worker, now);
+
+  Lease lease;
+  lease.id = next_id_++;
+  lease.worker = worker;
+  lease.granted_at = now;
+  lease.last_heartbeat = now;
+  const std::size_t take = std::min(lease_runs_, pending_.size());
+  lease.run_indices.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    lease.run_indices.push_back(pending_.front());
+    pending_.pop_front();
+  }
+  // Leases execute (and stream records) in ascending run-index order; the
+  // reclaimed work pushed to the queue's front can arrive out of order.
+  std::sort(lease.run_indices.begin(), lease.run_indices.end());
+  for (const std::size_t r : lease.run_indices)
+    lease.regrants = std::max(lease.regrants, regrants_[r]);
+
+  ++leases_granted_;
+  return active_.emplace(lease.id, std::move(lease)).first->second;
+}
+
+std::optional<Lease> LeaseLedger::steal(const std::string& thief, double now) {
+  // Work-stealing for stragglers the heartbeat timeout has NOT caught yet:
+  // an idle worker takes the tail half of the laggiest foreign lease. The
+  // victim keeps executing its (shrunk) share and simply has its late
+  // copies of the stolen records dropped as duplicates.
+  Lease* victim = nullptr;
+  for (auto& [id, lease] : active_) {
+    if (lease.worker == thief) continue;
+    if (lease.run_indices.size() < 2) continue;  // about to finish; leave it
+    if (victim == nullptr ||
+        lease.run_indices.size() > victim->run_indices.size())
+      victim = &lease;
+  }
+  if (victim == nullptr) return std::nullopt;
+
+  // The victim executes its list in ascending order, so the tail half is
+  // the work it is least likely to have already finished.
+  const std::size_t keep = (victim->run_indices.size() + 1) / 2;
+  Lease lease;
+  lease.id = next_id_++;
+  lease.worker = thief;
+  lease.granted_at = now;
+  lease.last_heartbeat = now;
+  lease.run_indices.assign(victim->run_indices.begin() +
+                               static_cast<std::ptrdiff_t>(keep),
+                           victim->run_indices.end());
+  victim->run_indices.resize(keep);
+  for (const std::size_t r : lease.run_indices)
+    lease.regrants = std::max(lease.regrants, ++regrants_[r]);
+
+  ++leases_granted_;
+  ++leases_stolen_;
+  return active_.emplace(lease.id, std::move(lease)).first->second;
+}
+
+bool LeaseLedger::heartbeat(std::uint64_t lease_id, const std::string& worker,
+                            std::size_t done, double now) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end() || it->second.worker != worker) return false;
+  it->second.last_heartbeat = now;
+  it->second.reported_done = done;
+  return true;
+}
+
+void LeaseLedger::note_stored(std::size_t run_index) {
+  const auto pending_it =
+      std::find(pending_.begin(), pending_.end(), run_index);
+  if (pending_it != pending_.end()) pending_.erase(pending_it);
+  for (auto& [id, lease] : active_) {
+    auto& indices = lease.run_indices;
+    const auto it = std::find(indices.begin(), indices.end(), run_index);
+    if (it != indices.end()) indices.erase(it);
+  }
+}
+
+DoneVerdict LeaseLedger::lease_done(std::uint64_t lease_id,
+                                    const std::string& worker) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end() || it->second.worker != worker)
+    return DoneVerdict::kStale;
+  // Trust the store, not the claim: indices whose records never arrived
+  // (dropped mid-flight) go back to pending instead of vanishing.
+  for (const std::size_t r : it->second.run_indices) pending_.push_front(r);
+  active_.erase(it);
+  return DoneVerdict::kAccepted;
+}
+
+void LeaseLedger::requeue_front(const std::vector<Lease>& leases) {
+  // Reclaimed work re-grants FIRST (front of the queue): it is the
+  // campaign's oldest outstanding work and its worker may be gone. Flatten
+  // in (lease id, index) order, then push_front in reverse, so the oldest
+  // lease's smallest index ends up frontmost.
+  std::vector<std::size_t> reclaimed;
+  for (const Lease& lease : leases)
+    reclaimed.insert(reclaimed.end(), lease.run_indices.begin(),
+                     lease.run_indices.end());
+  for (auto r = reclaimed.rbegin(); r != reclaimed.rend(); ++r) {
+    pending_.push_front(*r);
+    ++regrants_[*r];
+  }
+}
+
+std::vector<Lease> LeaseLedger::expire(double now) {
+  std::vector<Lease> expired;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (now - it->second.last_heartbeat < heartbeat_timeout_) {
+      ++it;
+      continue;
+    }
+    expired.push_back(it->second);
+    it = active_.erase(it);
+    ++leases_expired_;
+  }
+  requeue_front(expired);
+  return expired;
+}
+
+std::size_t LeaseLedger::release_worker(const std::string& worker) {
+  std::vector<Lease> released;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.worker != worker) {
+      ++it;
+      continue;
+    }
+    released.push_back(it->second);
+    it = active_.erase(it);
+  }
+  requeue_front(released);
+  leases_expired_ += released.size();
+  return released.size();
+}
+
+}  // namespace drivefi::coord

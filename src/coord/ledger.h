@@ -1,0 +1,117 @@
+/// \file
+/// The coordinator's lease bookkeeping, as a pure state machine: which run
+/// indices are still pending, which are out on a lease to which worker, and
+/// when each lease last heartbeated. Time is injected (double seconds on
+/// the caller's clock), so expiry, re-grants, and late acks are
+/// deterministic to unit-test (tests/coord_test.cpp) without sockets or
+/// sleeps.
+///
+/// Safety model: run identity is (campaign_seed, run_index) and the
+/// coordinator's store refuses duplicates, so the ledger never has to be
+/// perfect -- it only has to guarantee LIVENESS (every index is eventually
+/// granted to someone). Granting an index twice (a steal racing a slow
+/// worker) costs wasted execution, never a wrong result; the late copy of
+/// the record is dropped as a no-op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drivefi::coord {
+
+/// One granted lease: a batch of run indices owned by one worker until it
+/// completes them, dies, or lags past the heartbeat timeout.
+struct Lease {
+  std::uint64_t id = 0;
+  std::string worker;
+  std::vector<std::size_t> run_indices;  ///< ascending
+  double granted_at = 0.0;
+  double last_heartbeat = 0.0;
+  std::size_t reported_done = 0;  ///< worker's own progress claim (display)
+  std::size_t regrants = 0;       ///< times this work was stolen before
+};
+
+/// What happened to a lease_done claim.
+enum class DoneVerdict {
+  kAccepted,  ///< the claimant still owned the lease; it is retired
+  kStale,     ///< expired/stolen/unknown lease -- a no-op, not an error
+};
+
+class LeaseLedger {
+ public:
+  /// `pending` is every run index the campaign still needs (already-stored
+  /// indices excluded by the caller); `lease_runs` is the target batch
+  /// size; a lease that misses heartbeats for `heartbeat_timeout` seconds
+  /// is expired and its unstored work re-granted.
+  LeaseLedger(std::vector<std::size_t> pending, std::size_t lease_runs,
+              double heartbeat_timeout);
+
+  /// Grants the next batch to `worker` at time `now`. Prefers pending
+  /// (never-granted or reclaimed) work; when none remains, steals the tail
+  /// half of the laggiest active lease owned by ANOTHER worker (>= 2
+  /// unstored indices). Returns std::nullopt when there is nothing to
+  /// grant -- the caller should tell the worker to wait or disconnect.
+  std::optional<Lease> grant(const std::string& worker, double now);
+
+  /// Renews `lease_id` if `worker` still owns it. Returns false for an
+  /// expired, stolen, or unknown lease (the worker must abandon it).
+  bool heartbeat(std::uint64_t lease_id, const std::string& worker,
+                 std::size_t done, double now);
+
+  /// Notes that `run_index` is durably stored: removes it from the pending
+  /// queue and from whatever lease carries it, so expiry and stealing only
+  /// ever redistribute genuinely unfinished work.
+  void note_stored(std::size_t run_index);
+
+  /// A worker's completion claim. Accepted only from the current owner;
+  /// any of the lease's indices NOT yet stored (records lost in flight)
+  /// go back to pending rather than being trusted.
+  DoneVerdict lease_done(std::uint64_t lease_id, const std::string& worker);
+
+  /// Expires every lease whose last heartbeat is older than the timeout,
+  /// returning its unstored indices to the front of the pending queue
+  /// (they are the oldest work, so they re-grant first). Returns the
+  /// expired leases for logging.
+  std::vector<Lease> expire(double now);
+
+  /// Returns every active lease of `worker` to pending (connection died --
+  /// faster than waiting out the heartbeat timeout). Returns how many
+  /// leases were reclaimed.
+  std::size_t release_worker(const std::string& worker);
+
+  // -- introspection -------------------------------------------------------
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t active_lease_count() const { return active_.size(); }
+  /// Indices neither stored nor currently out on a lease.
+  bool has_grantable_work() const { return !pending_.empty(); }
+  const std::map<std::uint64_t, Lease>& active_leases() const {
+    return active_;
+  }
+  std::size_t leases_granted() const { return leases_granted_; }
+  std::size_t leases_expired() const { return leases_expired_; }
+  std::size_t leases_stolen() const { return leases_stolen_; }
+
+ private:
+  std::optional<Lease> steal(const std::string& thief, double now);
+  void requeue_front(const std::vector<Lease>& leases);
+
+  std::deque<std::size_t> pending_;
+  std::map<std::uint64_t, Lease> active_;
+  std::size_t lease_runs_;
+  double heartbeat_timeout_;
+  std::uint64_t next_id_ = 1;
+  /// regrant count per run index, carried across steals for diagnostics.
+  std::map<std::size_t, std::size_t> regrants_;
+
+  std::size_t leases_granted_ = 0;
+  std::size_t leases_expired_ = 0;
+  std::size_t leases_stolen_ = 0;
+};
+
+}  // namespace drivefi::coord

@@ -1,0 +1,226 @@
+#include "coord/protocol.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/jsonl.h"
+#include "util/fnv.h"
+#include "util/number_format.h"
+
+namespace drivefi::coord {
+
+std::uint64_t manifest_compat_hash(const core::CampaignManifest& manifest) {
+  util::Fnv1a fnv;
+  fnv.add(std::string_view(manifest.compatibility_key()));
+  return fnv.hash();
+}
+
+std::string message_type(const std::string& line) {
+  const core::JsonLine json(line);
+  return json.get_string("type");
+}
+
+namespace {
+
+/// Run indices travel as a space-separated ascending list in one string
+/// field ("3 5 9"); leases hold tens of indices, and after coordinator
+/// resume or a steal they are not a contiguous range.
+std::string encode_indices(const std::vector<std::size_t>& indices) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << indices[i];
+  }
+  return out.str();
+}
+
+std::vector<std::size_t> parse_indices(const std::string& text) {
+  std::vector<std::size_t> indices;
+  std::istringstream in(text);
+  std::uint64_t value = 0;
+  while (in >> value) indices.push_back(static_cast<std::size_t>(value));
+  if (!in.eof())
+    throw std::runtime_error("protocol: malformed run-index list \"" + text +
+                             "\"");
+  return indices;
+}
+
+void expect_type(const core::JsonLine& json, const char* want,
+                 const std::string& line) {
+  if (json.get_string("type") != want)
+    throw std::runtime_error(std::string("protocol: expected a \"") + want +
+                             "\" message, got: " + line);
+}
+
+}  // namespace
+
+std::string encode(const HelloMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"hello\",\"protocol\":" << m.protocol << ",\"worker\":\""
+      << core::json_escape(m.worker) << "\",\"manifest_hash\":"
+      << m.manifest_hash << ",\"threads\":" << m.threads << "}";
+  return out.str();
+}
+
+std::string encode(const LeaseRequestMsg&) {
+  return "{\"type\":\"lease_request\"}";
+}
+
+std::string encode(const HeartbeatMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"heartbeat\",\"lease_id\":" << m.lease_id
+      << ",\"done\":" << m.done << "}";
+  return out.str();
+}
+
+std::string encode(const RecordMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"record\",\"lease_id\":" << m.lease_id << ",\"record\":\""
+      << core::json_escape(m.record_jsonl) << "\"}";
+  return out.str();
+}
+
+std::string encode(const LeaseDoneMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"lease_done\",\"lease_id\":" << m.lease_id << "}";
+  return out.str();
+}
+
+std::string encode(const WelcomeMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"welcome\",\"protocol\":" << m.protocol
+      << ",\"planned_runs\":" << m.planned_runs << ",\"completed_runs\":"
+      << m.completed_runs << ",\"heartbeat_timeout\":"
+      << util::shortest_double(m.heartbeat_timeout) << "}";
+  return out.str();
+}
+
+std::string encode(const LeaseMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"lease\",\"lease_id\":" << m.lease_id
+      << ",\"run_indices\":\"" << encode_indices(m.run_indices) << "\"}";
+  return out.str();
+}
+
+std::string encode(const WaitMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"wait\",\"seconds\":" << util::shortest_double(m.seconds)
+      << "}";
+  return out.str();
+}
+
+std::string encode(const CompleteMsg&) { return "{\"type\":\"complete\"}"; }
+
+std::string encode(const HeartbeatAckMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"heartbeat_ack\",\"lease_id\":" << m.lease_id
+      << ",\"lease_valid\":" << (m.lease_valid ? "true" : "false") << "}";
+  return out.str();
+}
+
+std::string encode(const LeaseAckMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"lease_ack\",\"lease_id\":" << m.lease_id
+      << ",\"accepted\":" << (m.accepted ? "true" : "false") << "}";
+  return out.str();
+}
+
+std::string encode(const ErrorMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"error\",\"message\":\"" << core::json_escape(m.message)
+      << "\"}";
+  return out.str();
+}
+
+HelloMsg parse_hello(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "hello", line);
+  HelloMsg m;
+  m.protocol = json.get_u64("protocol");
+  m.worker = json.get_string("worker");
+  m.manifest_hash = json.get_u64("manifest_hash");
+  m.threads = static_cast<unsigned>(json.get_u64("threads"));
+  return m;
+}
+
+HeartbeatMsg parse_heartbeat(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "heartbeat", line);
+  HeartbeatMsg m;
+  m.lease_id = json.get_u64("lease_id");
+  m.done = json.get_u64("done");
+  return m;
+}
+
+RecordMsg parse_record(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "record", line);
+  RecordMsg m;
+  m.lease_id = json.get_u64("lease_id");
+  m.record_jsonl = json.get_string("record");
+  return m;
+}
+
+LeaseDoneMsg parse_lease_done(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "lease_done", line);
+  LeaseDoneMsg m;
+  m.lease_id = json.get_u64("lease_id");
+  return m;
+}
+
+WelcomeMsg parse_welcome(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "welcome", line);
+  WelcomeMsg m;
+  m.protocol = json.get_u64("protocol");
+  m.planned_runs = json.get_u64("planned_runs");
+  m.completed_runs = json.get_u64("completed_runs");
+  m.heartbeat_timeout = json.get_double("heartbeat_timeout");
+  return m;
+}
+
+LeaseMsg parse_lease(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "lease", line);
+  LeaseMsg m;
+  m.lease_id = json.get_u64("lease_id");
+  m.run_indices = parse_indices(json.get_string("run_indices"));
+  return m;
+}
+
+WaitMsg parse_wait(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "wait", line);
+  WaitMsg m;
+  m.seconds = json.get_double("seconds");
+  return m;
+}
+
+HeartbeatAckMsg parse_heartbeat_ack(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "heartbeat_ack", line);
+  HeartbeatAckMsg m;
+  m.lease_id = json.get_u64("lease_id");
+  m.lease_valid = json.get_bool("lease_valid");
+  return m;
+}
+
+LeaseAckMsg parse_lease_ack(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "lease_ack", line);
+  LeaseAckMsg m;
+  m.lease_id = json.get_u64("lease_id");
+  m.accepted = json.get_bool("accepted");
+  return m;
+}
+
+ErrorMsg parse_error(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "error", line);
+  ErrorMsg m;
+  m.message = json.get_string("message");
+  return m;
+}
+
+}  // namespace drivefi::coord

@@ -1,0 +1,148 @@
+/// \file
+/// The fleet wire protocol: typed messages exchanged between
+/// `drivefi_campaignd` (the coordinator) and `drivefi_campaign worker`
+/// processes. Every message is one flat JSONL object (core/jsonl.h --
+/// strings, numbers, booleans, never nested), carried in one net/frame.h
+/// frame. The normative description lives in docs/FORMATS.md; keep the two
+/// in sync.
+///
+/// Session shape:
+///
+///   worker                         coordinator
+///     hello  ------------------------>   (protocol + manifest hash check)
+///     <------------------------ welcome  (or error + close)
+///     lease_request ----------------->
+///     <-------- lease | wait | complete
+///     record* ----------------------->   (streamed as runs finish)
+///     heartbeat --------------------->   (renews the lease)
+///     <---------------- heartbeat_ack    (lease_valid=false => abandon)
+///     lease_done -------------------->
+///     <------------------- lease_ack
+///     ... repeat from lease_request until `complete` ...
+///
+/// Compatibility: `hello.manifest_hash` is FNV-1a64 of the campaign
+/// manifest's compatibility_key(), so a worker launched with a different
+/// model, seed, corpus, or pipeline configuration is refused at the door --
+/// the same contract shard stores enforce on disk.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/manifest.h"
+
+namespace drivefi::coord {
+
+/// Bump when any message changes shape; hello/welcome refuse a mismatch.
+constexpr std::uint64_t kProtocolVersion = 1;
+
+/// FNV-1a64 over CampaignManifest::compatibility_key() -- the campaign
+/// identity a hello carries (shard coordinates and provenance excluded,
+/// exactly like store compatibility).
+std::uint64_t manifest_compat_hash(const core::CampaignManifest& manifest);
+
+/// Returns the `type` field of a message line (throws std::runtime_error
+/// on a line that is not a flat JSON object with a string `type`).
+std::string message_type(const std::string& line);
+
+// ---- worker -> coordinator ----------------------------------------------
+
+struct HelloMsg {
+  std::uint64_t protocol = kProtocolVersion;
+  std::string worker;            ///< stable display name ("w1", "host:pid")
+  std::uint64_t manifest_hash = 0;
+  unsigned threads = 1;          ///< executor threads (progress display)
+};
+
+struct LeaseRequestMsg {};
+
+struct HeartbeatMsg {
+  std::uint64_t lease_id = 0;
+  std::size_t done = 0;  ///< runs of this lease finished so far
+};
+
+/// One completed run, streamed as it finishes. `record` is the canonical
+/// run-record JSONL line (core/result_store.h run_record_jsonl), escaped
+/// into a string field so the message stays a flat object.
+struct RecordMsg {
+  std::uint64_t lease_id = 0;
+  std::string record_jsonl;
+};
+
+struct LeaseDoneMsg {
+  std::uint64_t lease_id = 0;
+};
+
+// ---- coordinator -> worker ----------------------------------------------
+
+struct WelcomeMsg {
+  std::uint64_t protocol = kProtocolVersion;
+  std::size_t planned_runs = 0;
+  std::size_t completed_runs = 0;   ///< already durable at handshake time
+  double heartbeat_timeout = 5.0;   ///< miss this and the lease is stolen
+};
+
+struct LeaseMsg {
+  std::uint64_t lease_id = 0;
+  std::vector<std::size_t> run_indices;  ///< ascending global run indices
+};
+
+/// Nothing grantable right now (everything is leased out); retry after
+/// `seconds` -- a lease may expire or be split for stealing by then.
+struct WaitMsg {
+  double seconds = 0.5;
+};
+
+/// Every planned run is durably stored; the worker should disconnect.
+struct CompleteMsg {};
+
+struct HeartbeatAckMsg {
+  std::uint64_t lease_id = 0;
+  /// false: the lease expired and was re-granted elsewhere -- abandon the
+  /// remainder; any records already sent were either stored or dropped as
+  /// duplicates, both safe.
+  bool lease_valid = true;
+};
+
+struct LeaseAckMsg {
+  std::uint64_t lease_id = 0;
+  /// false: the lease was not (or no longer) this worker's -- a late done
+  /// from a presumed-dead worker. A no-op, never an error.
+  bool accepted = true;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+// ---- encode / parse ------------------------------------------------------
+// encode_* produce the message's JSONL line (no trailing newline);
+// parse_* throw std::runtime_error on malformed input or a wrong `type`.
+
+std::string encode(const HelloMsg& m);
+std::string encode(const LeaseRequestMsg& m);
+std::string encode(const HeartbeatMsg& m);
+std::string encode(const RecordMsg& m);
+std::string encode(const LeaseDoneMsg& m);
+std::string encode(const WelcomeMsg& m);
+std::string encode(const LeaseMsg& m);
+std::string encode(const WaitMsg& m);
+std::string encode(const CompleteMsg& m);
+std::string encode(const HeartbeatAckMsg& m);
+std::string encode(const LeaseAckMsg& m);
+std::string encode(const ErrorMsg& m);
+
+HelloMsg parse_hello(const std::string& line);
+HeartbeatMsg parse_heartbeat(const std::string& line);
+RecordMsg parse_record(const std::string& line);
+LeaseDoneMsg parse_lease_done(const std::string& line);
+WelcomeMsg parse_welcome(const std::string& line);
+LeaseMsg parse_lease(const std::string& line);
+WaitMsg parse_wait(const std::string& line);
+HeartbeatAckMsg parse_heartbeat_ack(const std::string& line);
+LeaseAckMsg parse_lease_ack(const std::string& line);
+ErrorMsg parse_error(const std::string& line);
+
+}  // namespace drivefi::coord

@@ -1,0 +1,227 @@
+#include "coord/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "coord/protocol.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "core/result_store.h"
+#include "net/socket.h"
+
+namespace drivefi::coord {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Control-flow signals thrown out of the streaming sink to cancel the
+/// executor mid-lease. Neither is an error.
+struct LeaseRevoked : std::exception {
+  const char* what() const noexcept override { return "lease revoked"; }
+};
+struct CampaignComplete : std::exception {
+  const char* what() const noexcept override { return "campaign complete"; }
+};
+struct AbortRequested : std::exception {
+  const char* what() const noexcept override { return "abort hook fired"; }
+};
+
+/// Streams each record to the coordinator as it becomes locally durable
+/// (run_indices appends to the local store BEFORE delivering to sinks),
+/// heartbeats on a cadence, and watches the socket for revocation.
+class StreamingSink : public core::ResultSink {
+ public:
+  StreamingSink(net::MessageConnection& conn, std::uint64_t lease_id,
+                double heartbeat_interval, std::size_t abort_after,
+                std::size_t* total_sent)
+      : conn_(conn),
+        lease_id_(lease_id),
+        heartbeat_interval_(heartbeat_interval),
+        abort_after_(abort_after),
+        total_sent_(total_sent),
+        last_heartbeat_(steady_seconds()) {}
+
+  void consume(const core::InjectionRecord& record) override {
+    RecordMsg msg;
+    msg.lease_id = lease_id_;
+    msg.record_jsonl = core::run_record_jsonl(record);
+    conn_.send_line(encode(msg));
+    ++done_;
+    ++*total_sent_;
+    if (abort_after_ > 0 && *total_sent_ >= abort_after_)
+      throw AbortRequested{};
+
+    const double now = steady_seconds();
+    if (now - last_heartbeat_ >= heartbeat_interval_) {
+      HeartbeatMsg hb;
+      hb.lease_id = lease_id_;
+      hb.done = done_;
+      conn_.send_line(encode(hb));
+      last_heartbeat_ = now;
+    }
+    drain_incoming();
+  }
+
+  std::size_t done() const { return done_; }
+
+ private:
+  /// Handles whatever the coordinator has already sent without blocking:
+  /// heartbeat acks (a dead lease aborts the remainder), completion, or an
+  /// error verdict.
+  void drain_incoming() {
+    std::string line;
+    while (conn_.recv_line(&line, 0.0) == net::RecvStatus::kMessage) {
+      const std::string type = message_type(line);
+      if (type == "heartbeat_ack") {
+        if (!parse_heartbeat_ack(line).lease_valid) throw LeaseRevoked{};
+      } else if (type == "complete") {
+        throw CampaignComplete{};
+      } else if (type == "error") {
+        throw std::runtime_error("coordinator: " + parse_error(line).message);
+      }
+      // lease_ack for an earlier lease: stale, ignore.
+    }
+  }
+
+  net::MessageConnection& conn_;
+  std::uint64_t lease_id_;
+  double heartbeat_interval_;
+  std::size_t abort_after_;
+  std::size_t* total_sent_;
+  std::size_t done_ = 0;
+  double last_heartbeat_;
+};
+
+}  // namespace
+
+WorkerClient::WorkerClient(const core::Experiment& experiment,
+                           const core::FaultModel& model,
+                           std::string scenario_spec, WorkerConfig config)
+    : experiment_(experiment), model_(model), config_(std::move(config)) {
+  if (config_.name.empty())
+    config_.name = "worker-" + std::to_string(::getpid());
+  if (config_.store_path.empty())
+    config_.store_path = config_.name + ".local.jsonl";
+  if (config_.threads == 0)
+    config_.threads = static_cast<unsigned>(
+        core::resolve_thread_count(experiment.options().executor.threads));
+
+  manifest_ = core::make_manifest(experiment, model, std::move(scenario_spec));
+  store_ = std::make_unique<core::ShardResultStore>(
+      config_.store_path, manifest_, core::StoreOpenMode::kOverwrite);
+}
+
+WorkerClient::~WorkerClient() = default;
+
+WorkerStats WorkerClient::run() {
+  WorkerStats stats;
+  const double started = steady_seconds();
+
+  net::MessageConnection conn(
+      net::TcpSocket::connect(config_.host, config_.port, config_.io_timeout));
+
+  HelloMsg hello;
+  hello.worker = config_.name;
+  hello.manifest_hash = manifest_compat_hash(manifest_);
+  hello.threads = config_.threads;
+  conn.send_line(encode(hello));
+
+  std::string line;
+  if (conn.recv_line(&line, config_.io_timeout) != net::RecvStatus::kMessage)
+    throw std::runtime_error("worker: no handshake reply from coordinator");
+  if (message_type(line) == "error")
+    throw std::runtime_error("coordinator refused hello: " +
+                             parse_error(line).message);
+  const WelcomeMsg welcome = parse_welcome(line);
+  if (welcome.protocol != kProtocolVersion)
+    throw std::runtime_error("worker: coordinator speaks protocol " +
+                             std::to_string(welcome.protocol));
+  const double heartbeat_interval = config_.heartbeat_interval > 0.0
+                                        ? config_.heartbeat_interval
+                                        : welcome.heartbeat_timeout / 3.0;
+
+  for (;;) {
+    conn.send_line(encode(LeaseRequestMsg{}));
+    // Stragglers from an abandoned lease (heartbeat_ack, lease_ack) can
+    // queue ahead of the reply; skim until the actual verdict arrives.
+    std::string type;
+    for (;;) {
+      const net::RecvStatus status = conn.recv_line(&line, config_.io_timeout);
+      if (status == net::RecvStatus::kClosed) {
+        type = "complete";  // coordinator hung up: campaign over for us
+        break;
+      }
+      if (status != net::RecvStatus::kMessage)
+        throw std::runtime_error("worker: lease request timed out");
+      type = message_type(line);
+      if (type != "heartbeat_ack" && type != "lease_ack") break;
+    }
+    if (type == "complete") break;
+    if (type == "error")
+      throw std::runtime_error("coordinator: " + parse_error(line).message);
+    if (type == "wait") {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(parse_wait(line).seconds));
+      continue;
+    }
+    if (type != "lease")
+      throw std::runtime_error("worker: unexpected reply " + type);
+
+    const LeaseMsg lease = parse_lease(line);
+    StreamingSink sink(conn, lease.lease_id, heartbeat_interval,
+                       config_.abort_after_records, &stats.runs_executed);
+    try {
+      experiment_.run_indices(model_, lease.run_indices, store_.get(),
+                              {&sink});
+    } catch (const LeaseRevoked&) {
+      ++stats.leases_revoked;
+      continue;  // records already streamed were stored or safely dropped
+    } catch (const CampaignComplete&) {
+      break;
+    } catch (const AbortRequested&) {
+      // Simulated SIGKILL: vanish without goodbye. The coordinator learns
+      // from the EOF (and, for a hung process, the heartbeat timeout).
+      conn.socket().close();
+      stats.aborted = true;
+      stats.wall_seconds = steady_seconds() - started;
+      return stats;
+    }
+
+    LeaseDoneMsg done;
+    done.lease_id = lease.lease_id;
+    conn.send_line(encode(done));
+    // The ack may queue behind heartbeat acks for this lease; skim those.
+    bool acked = false;
+    while (!acked) {
+      const net::RecvStatus ack_status =
+          conn.recv_line(&line, config_.io_timeout);
+      if (ack_status == net::RecvStatus::kClosed) break;
+      if (ack_status != net::RecvStatus::kMessage)
+        throw std::runtime_error("worker: lease_done ack timed out");
+      const std::string ack_type = message_type(line);
+      if (ack_type == "lease_ack") {
+        if (parse_lease_ack(line).accepted) ++stats.leases_completed;
+        acked = true;
+      } else if (ack_type == "complete") {
+        acked = true;  // campaign finished while we reported; fine
+      } else if (ack_type == "error") {
+        throw std::runtime_error("coordinator: " + parse_error(line).message);
+      }
+      // heartbeat_ack: skim
+    }
+  }
+
+  stats.wall_seconds = steady_seconds() - started;
+  return stats;
+}
+
+}  // namespace drivefi::coord

@@ -1,0 +1,88 @@
+/// \file
+/// The fleet worker: connects to a coordinator, pulls leases of run
+/// indices, executes them through the shared Experiment engine into its own
+/// crash-safe local store, and streams each finished record back the moment
+/// it is locally durable. The worker is deliberately stateless across
+/// sittings beyond that local store: all campaign truth lives in the
+/// coordinator's master store, and a worker that dies mid-lease simply
+/// loses its lease to the heartbeat timeout -- the runs are re-executed
+/// elsewhere and, by determinism, produce byte-identical records.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/campaign_stats.h"
+#include "core/manifest.h"
+
+namespace drivefi::core {
+class Experiment;
+class FaultModel;
+class ShardResultStore;
+}  // namespace drivefi::core
+
+namespace drivefi::coord {
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Stable display name; empty = "worker-<pid>".
+  std::string name;
+  /// Local scratch store path; empty = "<name>.local.jsonl". Opened with
+  /// kOverwrite -- the local store is per-sitting durability, not campaign
+  /// truth, so clobbering a previous sitting's scratch is correct.
+  std::string store_path;
+  /// Executor threads, for the hello message only (the Experiment's own
+  /// ExecutorConfig governs actual parallelism); 0 = resolve from it.
+  unsigned threads = 0;
+  /// Seconds between heartbeats while executing a lease; 0 = a third of
+  /// the coordinator's advertised heartbeat_timeout.
+  double heartbeat_interval = 0.0;
+  /// Deadline for blocking protocol exchanges (connect, hello, lease).
+  double io_timeout = 10.0;
+  /// TEST HOOK: after this many records have been streamed, abruptly close
+  /// the socket and return (simulating SIGKILL mid-lease); 0 = never.
+  std::size_t abort_after_records = 0;
+};
+
+struct WorkerStats {
+  std::size_t runs_executed = 0;     ///< records streamed this sitting
+  std::size_t leases_completed = 0;  ///< lease_done acked by the coordinator
+  std::size_t leases_revoked = 0;    ///< abandoned on lease_valid=false
+  bool aborted = false;              ///< abort_after_records fired
+  double wall_seconds = 0.0;
+};
+
+/// One worker process's campaign session. Construct, then run() until the
+/// coordinator reports the campaign complete (or the abort hook fires).
+class WorkerClient {
+ public:
+  /// Builds the campaign manifest from (experiment, model, scenario_spec)
+  /// with shard coordinates 0/1 -- it must hash-match the coordinator's or
+  /// the hello is refused -- and opens the local store. Throws
+  /// std::runtime_error on store I/O failure.
+  WorkerClient(const core::Experiment& experiment,
+               const core::FaultModel& model, std::string scenario_spec,
+               WorkerConfig config);
+  ~WorkerClient();
+
+  const WorkerConfig& config() const { return config_; }
+  const core::CampaignManifest& manifest() const { return manifest_; }
+
+  /// Connects and works until `complete` (or abort). Throws
+  /// net::SocketError / std::runtime_error on connection failure, protocol
+  /// refusal (version or manifest mismatch), or store I/O failure. A lease
+  /// revocation is NOT an error -- the worker abandons the lease and asks
+  /// for the next one.
+  WorkerStats run();
+
+ private:
+  const core::Experiment& experiment_;
+  const core::FaultModel& model_;
+  WorkerConfig config_;
+  core::CampaignManifest manifest_;
+  std::unique_ptr<core::ShardResultStore> store_;
+};
+
+}  // namespace drivefi::coord

@@ -100,22 +100,7 @@ CampaignStats Experiment::run(const FaultModel& model,
 CampaignStats Experiment::run_shard(const FaultModel& model,
                                     ShardResultStore& store,
                                     const std::vector<ResultSink*>& sinks) const {
-  const auto start = std::chrono::steady_clock::now();
   const CampaignManifest& manifest = store.manifest();
-  // The store's manifest must describe THIS experiment and model, not just
-  // agree on the run count -- otherwise records produced under a different
-  // seed/corpus/config would be durably stored (and later merged) under
-  // another campaign's identity. Same comparison the store itself applies
-  // when resuming; shard coordinates and provenance spelling are the
-  // caller's business.
-  const std::string reason =
-      make_manifest(*this, model, manifest.scenario_spec)
-          .mismatch_reason(manifest);
-  if (!reason.empty())
-    throw std::invalid_argument(
-        "run_shard: store manifest does not describe this campaign: " +
-        reason);
-
   // This shard's residue class, minus what the store already holds -- the
   // resume semantics fall out of the subtraction: a fresh store yields the
   // whole class, a complete store yields nothing.
@@ -123,21 +108,58 @@ CampaignStats Experiment::run_shard(const FaultModel& model,
   for (std::size_t r = manifest.shard_index; r < manifest.planned_runs;
        r += manifest.shard_count)
     if (!store.contains(r)) missing.push_back(r);
+  return run_indices(model, missing, &store, sinks);
+}
+
+CampaignStats Experiment::run_indices(
+    const FaultModel& model, const std::vector<std::size_t>& run_indices,
+    ShardResultStore* store, const std::vector<ResultSink*>& sinks) const {
+  const auto start = std::chrono::steady_clock::now();
+  if (store != nullptr) {
+    // The store's manifest must describe THIS experiment and model, not
+    // just agree on the run count -- otherwise records produced under a
+    // different seed/corpus/config would be durably stored (and later
+    // merged) under another campaign's identity. Same comparison the store
+    // itself applies when resuming; shard coordinates and provenance
+    // spelling are the caller's business.
+    const std::string reason =
+        make_manifest(*this, model, store->manifest().scenario_spec)
+            .mismatch_reason(store->manifest());
+    if (!reason.empty())
+      throw std::invalid_argument(
+          "run_indices: store manifest does not describe this campaign: " +
+          reason);
+  }
+  // Delivery happens in ascending run-index order whatever order the
+  // caller handed us (a lease reclaimed from a dead worker arrives
+  // front-loaded with the oldest work).
+  std::vector<std::size_t> ordered = run_indices;
+  std::sort(ordered.begin(), ordered.end());
+  for (const std::size_t r : ordered)
+    if (r >= model.run_count())
+      throw std::invalid_argument(
+          "run_indices: run_index " + std::to_string(r) +
+          " is outside the campaign (run_count " +
+          std::to_string(model.run_count()) + ")");
 
   CampaignMeta meta;
   meta.model_name = model.name();
-  meta.planned_runs = missing.size();
+  meta.planned_runs = ordered.size();
   for (ResultSink* sink : sinks) sink->begin(meta);
   for (ResultSink* sink : sinks) model.describe(*sink);
 
   CampaignStats stats;
-  stats.records.reserve(missing.size());
+  stats.records.reserve(ordered.size());
   const ParallelExecutor executor(options_.executor);
   executor.run_ordered<InjectionRecord>(
-      missing.size(),
-      [&](std::size_t i) { return execute(model.spec(missing[i], *this)); },
+      ordered.size(),
+      [&](std::size_t i) { return execute(model.spec(ordered[i], *this)); },
       [&](InjectionRecord&& record) {
-        store.append(record);
+        // A re-granted lease can overlap records an earlier sitting of the
+        // same store already holds; re-execution is deterministic, so the
+        // fresh copy is identical and only the append is skipped.
+        if (store != nullptr && !store->contains(record.run_index))
+          store->append(record);
         stats.add(record);
         for (ResultSink* sink : sinks) sink->consume(record);
       });

@@ -125,6 +125,22 @@ class Experiment {
   CampaignStats run_shard(const FaultModel& model, ShardResultStore& store,
                           const std::vector<ResultSink*>& sinks = {}) const;
 
+  /// Execute an explicit list of run indices -- the lease-execution path
+  /// the fleet worker (coord/worker.h) uses, and what run_shard reduces to
+  /// after subtracting the store. Indices may be any subset of
+  /// [0, model.run_count()) in any order; records are produced in parallel
+  /// and delivered to the store and sinks in ASCENDING run-index order.
+  /// When `store` is non-null each record is appended durably -- unless the
+  /// store already holds that index (a re-granted lease overlapping an
+  /// earlier sitting), in which case the re-executed record is delivered to
+  /// the sinks only; determinism makes the two copies identical. Throws
+  /// std::invalid_argument on an index outside the campaign or a store
+  /// whose manifest does not describe this experiment+model.
+  CampaignStats run_indices(const FaultModel& model,
+                            const std::vector<std::size_t>& run_indices,
+                            ShardResultStore* store,
+                            const std::vector<ResultSink*>& sinks = {}) const;
+
   /// Execute a single RunSpec and classify it (const, re-entrant; this is
   /// what campaign workers call).
   InjectionRecord execute(const RunSpec& spec) const;

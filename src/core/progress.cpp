@@ -1,0 +1,72 @@
+#include "core/progress.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace drivefi::core {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string format_progress(std::size_t completed, std::size_t planned,
+                            double runs_per_second, double eta_seconds) {
+  char buffer[160];
+  const double percent =
+      planned > 0
+          ? 100.0 * static_cast<double>(completed) / static_cast<double>(planned)
+          : 0.0;
+  if (eta_seconds < 0.0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%zu/%zu runs (%.1f%%)  %.1f runs/s  ETA --", completed,
+                  planned, percent, runs_per_second);
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%zu/%zu runs (%.1f%%)  %.1f runs/s  ETA %.0f s", completed,
+                  planned, percent, runs_per_second, eta_seconds);
+  }
+  return buffer;
+}
+
+ProgressSink::ProgressSink(std::ostream& out, double min_interval_seconds)
+    : out_(out), min_interval_(min_interval_seconds) {}
+
+void ProgressSink::begin(const CampaignMeta& meta) {
+  meter_ = ProgressMeter(meta.planned_runs);
+  seen_ = 0;
+  started_ = steady_seconds();
+  last_paint_ = -1.0;
+}
+
+void ProgressSink::consume(const InjectionRecord&) {
+  ++seen_;
+  const double elapsed = steady_seconds() - started_;
+  meter_.update(seen_, elapsed);
+  if (last_paint_ < 0.0 || elapsed - last_paint_ >= min_interval_ ||
+      seen_ == meter_.planned())
+    repaint(elapsed);
+}
+
+void ProgressSink::repaint(double elapsed) {
+  out_ << '\r'
+       << format_progress(meter_.completed(), meter_.planned(),
+                          meter_.runs_per_second(), meter_.eta_seconds())
+       << "   " << std::flush;
+  last_paint_ = elapsed;
+}
+
+void ProgressSink::finish(const CampaignStats&) {
+  const double elapsed = steady_seconds() - started_;
+  meter_.update(seen_, elapsed);
+  repaint(elapsed);
+  out_ << '\n' << std::flush;
+}
+
+}  // namespace drivefi::core

@@ -1,0 +1,84 @@
+/// \file
+/// Live campaign progress: the rate/ETA math (ProgressMeter, pure and
+/// unit-testable) and a ResultSink that repaints one status line as runs
+/// complete (ProgressSink, `drivefi_campaign run --progress`). The
+/// coordinator reuses the same meter for its fleet-wide status line, so
+/// the single-process and fleet displays can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "core/result_sink.h"
+
+namespace drivefi::core {
+
+/// Cumulative-rate progress math over an externally supplied clock
+/// (seconds since the campaign started). Deliberately stateless about
+/// WHERE completions happen -- one process or a fleet of workers feeds the
+/// same two numbers in.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(std::size_t planned) : planned_(planned) {}
+
+  /// Records that `completed` runs are finished at time `elapsed_seconds`.
+  /// `completed` counts from campaign start (monotonic, not per-call).
+  void update(std::size_t completed, double elapsed_seconds) {
+    completed_ = completed;
+    elapsed_ = elapsed_seconds;
+  }
+
+  std::size_t planned() const { return planned_; }
+  std::size_t completed() const { return completed_; }
+
+  /// Cumulative completion rate; 0 until time has passed.
+  double runs_per_second() const {
+    return elapsed_ > 0.0 ? static_cast<double>(completed_) / elapsed_ : 0.0;
+  }
+
+  /// Seconds until done at the cumulative rate; 0 when finished, -1 when
+  /// the rate is still unknown (nothing completed yet).
+  double eta_seconds() const {
+    if (completed_ >= planned_) return 0.0;
+    const double rate = runs_per_second();
+    if (rate <= 0.0) return -1.0;
+    return static_cast<double>(planned_ - completed_) / rate;
+  }
+
+ private:
+  std::size_t planned_;
+  std::size_t completed_ = 0;
+  double elapsed_ = 0.0;
+};
+
+/// "123/480 runs (25.6%)  14.2 runs/s  ETA 25 s" -- the shared status-line
+/// body. A negative eta prints as "ETA --".
+std::string format_progress(std::size_t completed, std::size_t planned,
+                            double runs_per_second, double eta_seconds);
+
+/// A composing ResultSink that repaints a single '\r'-terminated status
+/// line on `out` (default stderr semantics: the caller passes std::cerr)
+/// at most every `min_interval_seconds`, and finishes with a newline so
+/// subsequent output starts clean. Attach it alongside any other sinks --
+/// it only counts records, never alters them.
+class ProgressSink : public ResultSink {
+ public:
+  explicit ProgressSink(std::ostream& out, double min_interval_seconds = 0.25);
+
+  void begin(const CampaignMeta& meta) override;
+  void consume(const InjectionRecord& record) override;
+  void finish(const CampaignStats& stats) override;
+
+ private:
+  void repaint(double elapsed);
+
+  std::ostream& out_;
+  double min_interval_;
+  ProgressMeter meter_{0};
+  std::size_t seen_ = 0;
+  double started_ = 0.0;      ///< steady-clock origin, seconds
+  double last_paint_ = -1.0;  ///< elapsed seconds at the last repaint
+};
+
+}  // namespace drivefi::core

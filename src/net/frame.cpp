@@ -1,0 +1,73 @@
+#include "net/frame.h"
+
+namespace drivefi::net {
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw FrameError("frame payload of " + std::to_string(payload.size()) +
+                     " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                     "-byte limit");
+  std::string frame = std::to_string(payload.size());
+  frame += '\n';
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (poisoned_) throw FrameError("decoder poisoned by an earlier frame error");
+  // Compact the consumed prefix before it grows unbounded on a long-lived
+  // connection; amortized O(1) per byte.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  if (poisoned_) throw FrameError("decoder poisoned by an earlier frame error");
+
+  // Parse the length prefix (digits up to '\n'). Anything non-digit, an
+  // empty prefix, or more digits than kMaxFramePayload could need is
+  // corruption, not a frame we have not finished receiving.
+  std::size_t digits = 0;
+  std::size_t length = 0;
+  while (true) {
+    if (pos_ + digits >= buffer_.size()) {
+      if (digits > kMaxLengthDigits) break;  // corrupt: fall through to throw
+      return false;                          // prefix still arriving
+    }
+    const char c = buffer_[pos_ + digits];
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || digits >= kMaxLengthDigits) {
+      poisoned_ = true;
+      throw FrameError("malformed frame length prefix");
+    }
+    length = length * 10 + static_cast<std::size_t>(c - '0');
+    ++digits;
+  }
+  if (digits == 0 || digits > kMaxLengthDigits) {
+    poisoned_ = true;
+    throw FrameError("malformed frame length prefix");
+  }
+  if (length > kMaxFramePayload) {
+    poisoned_ = true;
+    throw FrameError("frame length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(kMaxFramePayload) +
+                     "-byte limit");
+  }
+
+  // prefix + '\n' + payload + '\n'
+  const std::size_t frame_end = pos_ + digits + 1 + length + 1;
+  if (buffer_.size() < frame_end) return false;  // payload still arriving
+  if (buffer_[frame_end - 1] != '\n') {
+    poisoned_ = true;
+    throw FrameError("frame payload not terminated by newline");
+  }
+  payload->assign(buffer_, pos_ + digits + 1, length);
+  pos_ = frame_end;
+  return true;
+}
+
+}  // namespace drivefi::net

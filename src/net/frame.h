@@ -1,0 +1,66 @@
+/// \file
+/// Length-prefixed message framing for the fleet wire protocol. A frame is
+/// the ASCII decimal byte length of the payload, a newline, the payload
+/// bytes, and a trailing newline:
+///
+///   `<decimal length>\n<payload bytes>\n`
+///
+/// Payloads are single JSONL message lines (coord/protocol.h), so a healthy
+/// stream is human-readable with `nc`. The decoder is a pure byte-stream
+/// state machine -- no sockets -- so torn, oversized, and garbage frames
+/// are unit-testable (tests/net_test.cpp, run under ASan/UBSan in CI).
+///
+/// Error contract: an incomplete frame is NOT an error (the decoder waits
+/// for more bytes); a malformed one (non-digit prefix, oversized length,
+/// missing terminator) throws FrameError and poisons the decoder -- the
+/// connection is unrecoverable and must be closed.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace drivefi::net {
+
+/// Hard ceiling on one frame's payload. Fleet messages are a few hundred
+/// bytes; anything near this limit is a corrupt or hostile stream.
+constexpr std::size_t kMaxFramePayload = 1 << 20;  // 1 MiB
+
+/// Longest accepted length prefix: enough digits for kMaxFramePayload.
+constexpr std::size_t kMaxLengthDigits = 8;
+
+/// Malformed framing (never thrown for merely-incomplete input).
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what)
+      : std::runtime_error("net: " + what) {}
+};
+
+/// Encodes one payload as a frame. Throws FrameError when the payload
+/// exceeds kMaxFramePayload.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame parser: feed() raw bytes in arbitrary chunks, next()
+/// out complete payloads.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame payload into *payload. Returns false
+  /// when no complete frame is buffered yet (not an error). Throws
+  /// FrameError on malformed input; after a throw the decoder is poisoned
+  /// and every further call throws.
+  bool next(std::string* payload);
+
+  /// Bytes buffered but not yet returned as payloads.
+  std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+  bool poisoned_ = false;
+};
+
+}  // namespace drivefi::net

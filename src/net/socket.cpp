@@ -1,0 +1,194 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace drivefi::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+int poll_one(int fd, short events, double timeout_seconds) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      timeout_seconds <= 0.0
+          ? 0
+          : static_cast<int>(timeout_seconds * 1000.0) + 1;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) fail_errno("poll failed");
+  return rc;  // 0 = timeout, 1 = ready
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("cannot parse IPv4 address \"" + host +
+                      "\" (hostnames are not resolved; use a dotted quad)");
+  return addr;
+}
+
+}  // namespace
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port,
+                             double timeout_seconds) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket failed");
+  TcpSocket socket(fd);
+
+  // Non-blocking connect bounded by the deadline, then back to blocking
+  // (all subsequent waits go through poll).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) fail_errno("connect to " + host + " failed");
+  if (rc < 0) {
+    if (poll_one(fd, POLLOUT, timeout_seconds) == 0)
+      throw SocketError("connect to " + host + ":" + std::to_string(port) +
+                        " timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+      fail_errno("getsockopt failed");
+    if (err != 0)
+      throw SocketError("connect to " + host + ":" + std::to_string(port) +
+                        " failed: " + std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  // Protocol messages are small request/response lines; never batch them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+void TcpSocket::send_all(std::string_view bytes) {
+  if (fd_ < 0) throw SocketError("send on a closed socket");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::size_t> TcpSocket::recv_some(char* buffer, std::size_t len,
+                                                double timeout_seconds) {
+  if (fd_ < 0) throw SocketError("recv on a closed socket");
+  if (poll_one(fd_, POLLIN, timeout_seconds) == 0) return std::nullopt;
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buffer, len, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail_errno("recv failed");
+  return static_cast<std::size_t>(n);
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket failed");
+  fd_ = TcpSocket(fd);
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail_errno("bind to " + host + ":" + std::to_string(port) + " failed");
+  if (::listen(fd, 64) < 0) fail_errno("listen failed");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail_errno("getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+std::optional<TcpSocket> TcpListener::accept(double timeout_seconds) {
+  if (poll_one(fd_.fd(), POLLIN, timeout_seconds) == 0) return std::nullopt;
+  int client;
+  do {
+    client = ::accept(fd_.fd(), nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) fail_errno("accept failed");
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(client);
+}
+
+RecvStatus MessageConnection::recv_line(std::string* line,
+                                        double timeout_seconds) {
+  if (decoder_.next(line)) return RecvStatus::kMessage;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds > 0.0 ? timeout_seconds
+                                                              : 0.0));
+  char buffer[4096];
+  for (;;) {
+    // A frame may straddle reads, so the wait is bounded by one shared
+    // deadline across them; a 0 deadline still drains everything the
+    // kernel already has buffered.
+    const double remaining =
+        timeout_seconds <= 0.0
+            ? 0.0
+            : std::chrono::duration<double>(deadline -
+                                            std::chrono::steady_clock::now())
+                  .count();
+    const auto n = socket_.recv_some(buffer, sizeof(buffer),
+                                     remaining > 0.0 ? remaining : 0.0);
+    if (!n.has_value()) return RecvStatus::kTimeout;
+    if (*n == 0) return RecvStatus::kClosed;
+    decoder_.feed(std::string_view(buffer, *n));
+    if (decoder_.next(line)) return RecvStatus::kMessage;
+    if (timeout_seconds <= 0.0 && *n < sizeof(buffer))
+      return RecvStatus::kTimeout;
+    if (timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline)
+      return RecvStatus::kTimeout;
+  }
+}
+
+}  // namespace drivefi::net

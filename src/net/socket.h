@@ -1,0 +1,116 @@
+/// \file
+/// Blocking TCP sockets with deadlines, plus the framed message connection
+/// the fleet protocol runs over. Deliberately minimal: IPv4, blocking I/O
+/// bounded by poll(2) deadlines, no TLS -- a coordinator and its workers
+/// are expected to share a trusted network (localhost or one rack).
+///
+/// Every deadline parameter is in seconds; 0 means "do not wait" (check
+/// what is already available) and is how the coordinator's event loop
+/// drains sockets without blocking its tick.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+
+namespace drivefi::net {
+
+/// Socket-layer failure (connection reset, refused, bind in use, ...).
+/// Distinct from FrameError so callers can tell a dead transport from a
+/// corrupt stream; both mean "drop this connection".
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what)
+      : std::runtime_error("net: " + what) {}
+};
+
+/// One connected TCP stream. Move-only; the destructor closes the fd.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port within `timeout_seconds`. Throws SocketError on
+  /// failure (refused, unresolved host, deadline exceeded).
+  static TcpSocket connect(const std::string& host, std::uint16_t port,
+                           double timeout_seconds);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `bytes` (SIGPIPE suppressed). Throws SocketError when
+  /// the peer is gone or the write fails.
+  void send_all(std::string_view bytes);
+
+  /// Reads at most `len` bytes within `timeout_seconds`. Returns the byte
+  /// count (0 = orderly peer close), or std::nullopt when the deadline
+  /// passes with nothing readable. Throws SocketError on socket failure.
+  std::optional<std::size_t> recv_some(char* buffer, std::size_t len,
+                                       double timeout_seconds);
+
+  /// Closes the fd early (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket. Construct with port 0 for an ephemeral port and read
+/// the kernel's choice back with port().
+class TcpListener {
+ public:
+  /// Binds and listens on host:port. Throws SocketError on failure.
+  TcpListener(const std::string& host, std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.fd(); }
+
+  /// Accepts one connection within `timeout_seconds`; std::nullopt when
+  /// the deadline passes. Throws SocketError on listener failure.
+  std::optional<TcpSocket> accept(double timeout_seconds);
+
+ private:
+  TcpSocket fd_;  // listening fd, reusing the RAII close
+  std::uint16_t port_ = 0;
+};
+
+/// Result of MessageConnection::recv_line.
+enum class RecvStatus {
+  kMessage,  ///< *line holds one complete message payload
+  kTimeout,  ///< deadline passed; connection still healthy
+  kClosed,   ///< peer closed the stream cleanly
+};
+
+/// One framed-message stream: a TcpSocket plus a FrameDecoder. send_line /
+/// recv_line move whole protocol messages (single JSONL lines); framing
+/// corruption surfaces as FrameError, transport death as SocketError.
+class MessageConnection {
+ public:
+  explicit MessageConnection(TcpSocket socket) : socket_(std::move(socket)) {}
+
+  /// Sends one message payload as a frame.
+  void send_line(std::string_view line) {
+    socket_.send_all(encode_frame(line));
+  }
+
+  /// Receives the next message within `timeout_seconds`. Buffered frames
+  /// are returned without touching the socket, so a deadline of 0 drains
+  /// exactly what has already arrived.
+  RecvStatus recv_line(std::string* line, double timeout_seconds);
+
+  TcpSocket& socket() { return socket_; }
+
+ private:
+  TcpSocket socket_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace drivefi::net

@@ -1,0 +1,325 @@
+// Coordination-layer tests: the lease ledger as a pure state machine
+// (grant/heartbeat/expire/steal/late-ack, all with injected time), the
+// wire-protocol message round trips, the manifest compatibility hash, and
+// the progress math the single-process and fleet status lines share.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coord/ledger.h"
+#include "coord/protocol.h"
+#include "core/manifest.h"
+#include "core/progress.h"
+
+using namespace drivefi;
+using coord::DoneVerdict;
+using coord::Lease;
+using coord::LeaseLedger;
+
+namespace {
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  return indices;
+}
+
+// ---- LeaseLedger ---------------------------------------------------------
+
+TEST(LeaseLedger, PartitionsPendingIntoAscendingBatches) {
+  LeaseLedger ledger(iota_indices(10), 4, 5.0);
+  const auto a = ledger.grant("w1", 0.0);
+  const auto b = ledger.grant("w2", 0.0);
+  const auto c = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->run_indices, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(b->run_indices, (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(c->run_indices, (std::vector<std::size_t>{8, 9}));
+  EXPECT_EQ(ledger.pending_count(), 0u);
+  EXPECT_EQ(ledger.active_lease_count(), 3u);
+  EXPECT_EQ(ledger.leases_granted(), 3u);
+}
+
+TEST(LeaseLedger, HeartbeatRenewalKeepsALeaseAlive) {
+  LeaseLedger ledger(iota_indices(4), 4, 5.0);
+  const auto lease = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(lease);
+  // Renew at 4 s intervals: each renewal pushes the deadline out.
+  EXPECT_TRUE(ledger.heartbeat(lease->id, "w1", 1, 4.0));
+  EXPECT_TRUE(ledger.heartbeat(lease->id, "w1", 2, 8.0));
+  EXPECT_TRUE(ledger.expire(12.5).empty());  // last beat 8.0 + 5.0 > 12.5
+  EXPECT_EQ(ledger.expire(13.5).size(), 1u);
+}
+
+TEST(LeaseLedger, ExpiryReturnsUnstoredWorkToTheFrontOfPending) {
+  LeaseLedger ledger(iota_indices(8), 4, 5.0);
+  const auto lost = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(lost);
+  // Two of its runs made it to the store before the worker died.
+  ledger.note_stored(0);
+  ledger.note_stored(2);
+
+  const auto expired = ledger.expire(6.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, lost->id);
+  EXPECT_EQ(ledger.leases_expired(), 1u);
+
+  // The reclaimed indices re-grant FIRST (oldest work), stored ones never.
+  const auto regrant = ledger.grant("w2", 6.0);
+  ASSERT_TRUE(regrant);
+  EXPECT_EQ(regrant->run_indices, (std::vector<std::size_t>{1, 3, 4, 5}));
+  EXPECT_EQ(regrant->regrants, 1u);
+
+  // A heartbeat for the dead lease is refused: the worker must abandon it.
+  EXPECT_FALSE(ledger.heartbeat(lost->id, "w1", 3, 6.5));
+}
+
+TEST(LeaseLedger, LateDoneFromPresumedDeadWorkerIsAStaleNoOp) {
+  LeaseLedger ledger(iota_indices(4), 4, 5.0);
+  const auto lease = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(lease);
+  ledger.expire(6.0);  // w1 presumed dead; work reclaimed
+  const auto regrant = ledger.grant("w2", 6.0);
+  ASSERT_TRUE(regrant);
+
+  // w1 was alive after all and reports completion late: stale, changes
+  // nothing, and w2's re-grant keeps running.
+  EXPECT_EQ(ledger.lease_done(lease->id, "w1"), DoneVerdict::kStale);
+  EXPECT_EQ(ledger.active_lease_count(), 1u);
+  EXPECT_EQ(ledger.lease_done(regrant->id, "w2"), DoneVerdict::kAccepted);
+}
+
+TEST(LeaseLedger, DoneByTheWrongWorkerIsStale) {
+  LeaseLedger ledger(iota_indices(4), 4, 5.0);
+  const auto lease = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(lease);
+  EXPECT_EQ(ledger.lease_done(lease->id, "w2"), DoneVerdict::kStale);
+  EXPECT_EQ(ledger.active_lease_count(), 1u);  // w1 still owns it
+}
+
+TEST(LeaseLedger, DoneWithUnstoredIndicesRequeuesThem) {
+  LeaseLedger ledger(iota_indices(4), 4, 5.0);
+  const auto lease = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(lease);
+  ledger.note_stored(0);
+  ledger.note_stored(1);
+  // The worker claims done but indices 2,3 never reached the store (lost
+  // in flight): the claim retires the lease, the work survives.
+  EXPECT_EQ(ledger.lease_done(lease->id, "w1"), DoneVerdict::kAccepted);
+  EXPECT_EQ(ledger.pending_count(), 2u);
+  const auto retry = ledger.grant("w2", 1.0);
+  ASSERT_TRUE(retry);
+  EXPECT_EQ(retry->run_indices, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(LeaseLedger, StealsTailHalfOfTheLaggiestForeignLease) {
+  LeaseLedger ledger(iota_indices(8), 8, 5.0);
+  const auto victim = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(victim);
+  EXPECT_FALSE(ledger.has_grantable_work());
+
+  // w1 stored nothing yet; an idle w2 steals the tail half.
+  const auto stolen = ledger.grant("w2", 1.0);
+  ASSERT_TRUE(stolen);
+  EXPECT_EQ(stolen->run_indices, (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(stolen->regrants, 1u);
+  EXPECT_EQ(ledger.leases_stolen(), 1u);
+  // The victim keeps the head half.
+  EXPECT_EQ(ledger.active_leases().at(victim->id).run_indices,
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(LeaseLedger, NeverStealsFromItselfOrSingleIndexLeases) {
+  LeaseLedger ledger(iota_indices(4), 4, 5.0);
+  const auto own = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(own);
+  // Only w1's own lease exists: nothing for w1 to steal.
+  EXPECT_FALSE(ledger.grant("w1", 1.0).has_value());
+
+  // Shrink the lease to one unstored index: too small to split for w2.
+  ledger.note_stored(0);
+  ledger.note_stored(1);
+  ledger.note_stored(2);
+  EXPECT_FALSE(ledger.grant("w2", 1.0).has_value());
+}
+
+TEST(LeaseLedger, ReleaseWorkerReclaimsAllItsLeases) {
+  LeaseLedger ledger(iota_indices(8), 2, 5.0);
+  ASSERT_TRUE(ledger.grant("w1", 0.0));
+  ASSERT_TRUE(ledger.grant("w1", 0.0));
+  const auto other = ledger.grant("w2", 0.0);
+  ASSERT_TRUE(other);
+
+  EXPECT_EQ(ledger.release_worker("w1"), 2u);  // socket EOF path
+  EXPECT_EQ(ledger.active_lease_count(), 1u);
+  EXPECT_EQ(ledger.pending_count(), 6u);  // 4 reclaimed + 2 never granted
+
+  // Reclaimed indices 0..3 re-grant before the untouched tail.
+  const auto next = ledger.grant("w3", 1.0);
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->run_indices, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LeaseLedger, EveryIndexIsEventuallyGrantedExactlyOnceWithoutFailures) {
+  // Liveness sanity: grant-complete cycles with no deaths cover the whole
+  // campaign with no index granted twice.
+  LeaseLedger ledger(iota_indices(23), 5, 5.0);
+  std::set<std::size_t> seen;
+  while (auto lease = ledger.grant("w1", 0.0)) {
+    for (std::size_t index : lease->run_indices) {
+      EXPECT_TRUE(seen.insert(index).second) << "index " << index;
+      ledger.note_stored(index);
+    }
+    EXPECT_EQ(ledger.lease_done(lease->id, "w1"), DoneVerdict::kAccepted);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_EQ(ledger.pending_count(), 0u);
+  EXPECT_EQ(ledger.active_lease_count(), 0u);
+}
+
+// ---- protocol round trips ------------------------------------------------
+
+TEST(Protocol, HelloRoundTrips) {
+  coord::HelloMsg msg;
+  msg.worker = "rack3:worker-17 \"quoted\"";
+  msg.manifest_hash = 0xdeadbeefcafef00dULL;
+  msg.threads = 8;
+  const coord::HelloMsg parsed = coord::parse_hello(coord::encode(msg));
+  EXPECT_EQ(parsed.protocol, coord::kProtocolVersion);
+  EXPECT_EQ(parsed.worker, msg.worker);
+  EXPECT_EQ(parsed.manifest_hash, msg.manifest_hash);
+  EXPECT_EQ(parsed.threads, msg.threads);
+}
+
+TEST(Protocol, LeaseRoundTripsRunIndices) {
+  coord::LeaseMsg msg;
+  msg.lease_id = 42;
+  msg.run_indices = {3, 5, 9, 1000000};
+  const coord::LeaseMsg parsed = coord::parse_lease(coord::encode(msg));
+  EXPECT_EQ(parsed.lease_id, 42u);
+  EXPECT_EQ(parsed.run_indices, msg.run_indices);
+
+  coord::LeaseMsg empty;
+  empty.lease_id = 7;
+  EXPECT_TRUE(coord::parse_lease(coord::encode(empty)).run_indices.empty());
+}
+
+TEST(Protocol, RecordCarriesAnEmbeddedJsonlLineIntact) {
+  coord::RecordMsg msg;
+  msg.lease_id = 9;
+  msg.record_jsonl =
+      R"({"type":"run","run_index":4,"description":"x \"y\" z","outcome":"benign"})";
+  const coord::RecordMsg parsed = coord::parse_record(coord::encode(msg));
+  EXPECT_EQ(parsed.lease_id, 9u);
+  EXPECT_EQ(parsed.record_jsonl, msg.record_jsonl);
+}
+
+TEST(Protocol, ControlMessagesRoundTrip) {
+  {
+    coord::HeartbeatMsg msg;
+    msg.lease_id = 3;
+    msg.done = 17;
+    const auto parsed = coord::parse_heartbeat(coord::encode(msg));
+    EXPECT_EQ(parsed.lease_id, 3u);
+    EXPECT_EQ(parsed.done, 17u);
+  }
+  {
+    coord::WelcomeMsg msg;
+    msg.planned_runs = 480;
+    msg.completed_runs = 123;
+    msg.heartbeat_timeout = 7.5;
+    const auto parsed = coord::parse_welcome(coord::encode(msg));
+    EXPECT_EQ(parsed.planned_runs, 480u);
+    EXPECT_EQ(parsed.completed_runs, 123u);
+    EXPECT_DOUBLE_EQ(parsed.heartbeat_timeout, 7.5);
+  }
+  {
+    coord::HeartbeatAckMsg msg;
+    msg.lease_id = 11;
+    msg.lease_valid = false;
+    const auto parsed = coord::parse_heartbeat_ack(coord::encode(msg));
+    EXPECT_EQ(parsed.lease_id, 11u);
+    EXPECT_FALSE(parsed.lease_valid);
+  }
+  {
+    coord::LeaseAckMsg msg;
+    msg.lease_id = 12;
+    msg.accepted = false;
+    const auto parsed = coord::parse_lease_ack(coord::encode(msg));
+    EXPECT_EQ(parsed.lease_id, 12u);
+    EXPECT_FALSE(parsed.accepted);
+  }
+  {
+    coord::WaitMsg msg;
+    msg.seconds = 1.25;
+    EXPECT_DOUBLE_EQ(coord::parse_wait(coord::encode(msg)).seconds, 1.25);
+  }
+  {
+    coord::ErrorMsg msg;
+    msg.message = "manifest mismatch: seed differs";
+    EXPECT_EQ(coord::parse_error(coord::encode(msg)).message, msg.message);
+  }
+  EXPECT_EQ(coord::message_type(coord::encode(coord::CompleteMsg{})),
+            "complete");
+  EXPECT_EQ(coord::message_type(coord::encode(coord::LeaseRequestMsg{})),
+            "lease_request");
+}
+
+TEST(Protocol, ParseRejectsWrongTypeAndGarbage) {
+  const std::string hello = coord::encode(coord::HelloMsg{});
+  EXPECT_THROW(coord::parse_welcome(hello), std::runtime_error);
+  EXPECT_THROW(coord::parse_lease("not json at all"), std::runtime_error);
+  EXPECT_THROW(coord::message_type(R"({"no_type":1})"), std::runtime_error);
+}
+
+TEST(Protocol, ManifestHashTracksCompatibilityNotProvenance) {
+  core::CampaignManifest a;
+  a.model = "random-value";
+  a.model_params = "n=60 seed=1234";
+  a.planned_runs = 60;
+  a.scenario_hash = 0x1234;
+  a.pipeline_seed = 7;
+  a.config_hash = 0x5678;
+
+  core::CampaignManifest b = a;
+  EXPECT_EQ(coord::manifest_compat_hash(a), coord::manifest_compat_hash(b));
+
+  // Cost-only knobs do not change the hash (same rule as store resume).
+  b.fork_replays = !a.fork_replays;
+  b.checkpoint_stride = a.checkpoint_stride + 3;
+  EXPECT_EQ(coord::manifest_compat_hash(a), coord::manifest_compat_hash(b));
+
+  // Anything result-affecting does.
+  b = a;
+  b.model_params = "n=60 seed=1235";
+  EXPECT_NE(coord::manifest_compat_hash(a), coord::manifest_compat_hash(b));
+  b = a;
+  b.pipeline_seed = 8;
+  EXPECT_NE(coord::manifest_compat_hash(a), coord::manifest_compat_hash(b));
+}
+
+// ---- progress math -------------------------------------------------------
+
+TEST(Progress, MeterRateAndEta) {
+  core::ProgressMeter meter(100);
+  EXPECT_DOUBLE_EQ(meter.runs_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.eta_seconds(), -1.0);  // unknown before data
+
+  meter.update(25, 5.0);
+  EXPECT_DOUBLE_EQ(meter.runs_per_second(), 5.0);
+  EXPECT_DOUBLE_EQ(meter.eta_seconds(), 15.0);
+
+  meter.update(100, 20.0);
+  EXPECT_DOUBLE_EQ(meter.eta_seconds(), 0.0);
+}
+
+TEST(Progress, FormatProgressShape) {
+  EXPECT_EQ(core::format_progress(123, 480, 14.25, 25.4),
+            "123/480 runs (25.6%)  14.2 runs/s  ETA 25 s");
+  EXPECT_EQ(core::format_progress(0, 480, 0.0, -1.0),
+            "0/480 runs (0.0%)  0.0 runs/s  ETA --");
+}
+
+}  // namespace

@@ -11,8 +11,11 @@
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "coord/coordinator.h"
+#include "coord/worker.h"
 #include "core/bayes_model.h"
 #include "core/experiment.h"
 #include "core/fault_model.h"
@@ -313,6 +316,136 @@ TEST(Determinism, KillThenResumeBitIdenticalToUninterrupted) {
   const MergedCampaign merged = merge_shards({path0, path1});
   EXPECT_EQ(base_fp, fingerprint(merged.stats))
       << "kill/resume campaign diverged from the uninterrupted run";
+}
+
+TEST(Determinism, FleetCampaignWithKilledWorkerBitIdenticalToSingleProcess) {
+  // The fleet contract: a coordinator + workers campaign -- including a
+  // worker that dies abruptly mid-lease, forcing its work to be reclaimed
+  // and re-executed elsewhere -- merges byte-identical to the uninterrupted
+  // single-process run. Records may arrive out of order, duplicated, or
+  // from a re-granted lease; none of it may show in the output.
+  namespace fs = std::filesystem;
+  const Experiment experiment = make_experiment(2);
+  const RandomValueModel model(14, 2024);
+
+  const std::string base_fp = fingerprint(experiment.run(model));
+  std::ostringstream base_out;
+  {
+    JsonlSink sink(base_out);
+    std::vector<ResultSink*> sinks = {&sink};
+    experiment.run(model, sinks);
+  }
+  const std::string base_jsonl = scrub_wall_seconds(base_out.str());
+
+  const CampaignManifest manifest = make_manifest(experiment, model, "test");
+  const std::string master_path =
+      (fs::path(::testing::TempDir()) / "drivefi_fleet_master.jsonl").string();
+  ShardResultStore master(master_path, manifest, StoreOpenMode::kOverwrite);
+
+  coord::CoordinatorConfig coord_config;
+  coord_config.lease_runs = 3;
+  coord_config.heartbeat_timeout = 1.0;
+  coord_config.tick_seconds = 0.02;
+  coord_config.print_progress = false;
+  coord::Coordinator coordinator(manifest, master, coord_config);
+
+  coord::FleetStats fleet;
+  std::thread coordinator_thread(
+      [&] { fleet = coordinator.serve(); });
+
+  const auto worker_config = [&](const char* name) {
+    coord::WorkerConfig config;
+    config.port = coordinator.port();
+    config.name = name;
+    config.store_path =
+        (fs::path(::testing::TempDir()) / ("drivefi_fleet_" + std::string(name) + ".jsonl"))
+            .string();
+    return config;
+  };
+
+  // Worker A vanishes (socket slammed shut, no goodbye) after streaming
+  // two records of its first lease -- the in-process stand-in for SIGKILL,
+  // which scripts/fleet_e2e.sh exercises for real across processes.
+  {
+    coord::WorkerConfig config = worker_config("wA");
+    config.abort_after_records = 2;
+    coord::WorkerClient killed(experiment, model, "test", config);
+    const coord::WorkerStats stats = killed.run();
+    EXPECT_TRUE(stats.aborted);
+    EXPECT_EQ(stats.runs_executed, 2u);
+  }
+
+  // Workers B and C finish the campaign, re-executing the reclaimed work.
+  coord::WorkerStats stats_b, stats_c;
+  std::thread worker_b([&] {
+    coord::WorkerClient worker(experiment, model, "test", worker_config("wB"));
+    stats_b = worker.run();
+  });
+  std::thread worker_c([&] {
+    coord::WorkerClient worker(experiment, model, "test", worker_config("wC"));
+    stats_c = worker.run();
+  });
+  worker_b.join();
+  worker_c.join();
+  coordinator_thread.join();
+
+  EXPECT_EQ(master.completed().size(), model.run_count());
+  EXPECT_EQ(fleet.runs_completed, model.run_count());  // store began empty
+  EXPECT_EQ(fleet.workers_seen, 3u);
+  EXPECT_GE(stats_b.runs_executed + stats_c.runs_executed,
+            model.run_count() - 2);
+
+  const MergedCampaign merged = merge_shards({master_path});
+  EXPECT_EQ(base_fp, fingerprint(merged.stats))
+      << "fleet campaign stats diverged from the single-process run";
+  std::ostringstream merged_out;
+  write_merged_jsonl(merged, merged_out);
+  EXPECT_EQ(base_jsonl, scrub_wall_seconds(merged_out.str()))
+      << "fleet campaign JSONL diverged from the single-process run";
+}
+
+TEST(Determinism, FleetRefusesAMismatchedWorker) {
+  // The compatibility half of the contract: a worker built for a different
+  // campaign (different seed here) is refused at hello and executes
+  // nothing; the coordinator keeps serving.
+  const Experiment experiment = make_experiment(1);
+  const RandomValueModel model(4, 2024);
+  const RandomValueModel wrong_model(4, 9999);
+
+  namespace fs = std::filesystem;
+  const CampaignManifest manifest = make_manifest(experiment, model, "test");
+  const std::string master_path =
+      (fs::path(::testing::TempDir()) / "drivefi_fleet_refuse.jsonl").string();
+  ShardResultStore master(master_path, manifest, StoreOpenMode::kOverwrite);
+
+  coord::CoordinatorConfig coord_config;
+  coord_config.lease_runs = 2;
+  coord_config.tick_seconds = 0.02;
+  coord_config.print_progress = false;
+  coord::Coordinator coordinator(manifest, master, coord_config);
+  std::thread coordinator_thread([&] { coordinator.serve(); });
+
+  {
+    coord::WorkerConfig config;
+    config.port = coordinator.port();
+    config.name = "imposter";
+    config.store_path =
+        (fs::path(::testing::TempDir()) / "drivefi_fleet_imposter.jsonl")
+            .string();
+    coord::WorkerClient imposter(experiment, wrong_model, "test", config);
+    EXPECT_THROW(imposter.run(), std::runtime_error);
+  }
+
+  coord::WorkerConfig config;
+  config.port = coordinator.port();
+  config.name = "honest";
+  config.store_path =
+      (fs::path(::testing::TempDir()) / "drivefi_fleet_honest.jsonl").string();
+  coord::WorkerClient honest(experiment, model, "test", config);
+  const coord::WorkerStats stats = honest.run();
+  coordinator_thread.join();
+  EXPECT_EQ(stats.runs_executed, model.run_count());
+  EXPECT_EQ(master.completed().size(), model.run_count());
 }
 
 TEST(Determinism, ThreadCountDoesNotLeakIntoSpecs) {

@@ -1,0 +1,219 @@
+// Wire-layer tests: the frame codec as a pure byte-stream state machine
+// (round trips, torn frames, oversized/garbage prefixes -- all without a
+// socket), then the loopback TCP + MessageConnection path. CI runs this
+// suite under ASan/UBSan, which is what makes the "rejected without UB"
+// half of the contract enforceable rather than aspirational.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+using namespace drivefi;
+
+namespace {
+
+std::string decode_one(const std::string& bytes) {
+  net::FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::string payload;
+  EXPECT_TRUE(decoder.next(&payload));
+  return payload;
+}
+
+TEST(FrameCodec, RoundTripsPayloads) {
+  const std::vector<std::string> payloads = {
+      "",  // empty payload is legal
+      "x",
+      R"({"type":"hello","worker":"w1"})",
+      std::string("embedded\nnewline\nand\ttabs"),
+      std::string("nul\0byte", 8),
+      std::string(4096, 'A'),
+  };
+  for (const std::string& payload : payloads) {
+    EXPECT_EQ(decode_one(net::encode_frame(payload)), payload)
+        << "payload size " << payload.size();
+  }
+}
+
+TEST(FrameCodec, EncodeShapeIsLengthNewlinePayloadNewline) {
+  EXPECT_EQ(net::encode_frame("abc"), "3\nabc\n");
+  EXPECT_EQ(net::encode_frame(""), "0\n\n");
+}
+
+TEST(FrameCodec, ByteAtATimeFeedIsNotAnError) {
+  const std::string bytes =
+      net::encode_frame("first") + net::encode_frame("second");
+  net::FrameDecoder decoder;
+  std::vector<std::string> out;
+  std::string payload;
+  for (char byte : bytes) {
+    decoder.feed(std::string_view(&byte, 1));
+    while (decoder.next(&payload)) out.push_back(payload);
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "first");
+  EXPECT_EQ(out[1], "second");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodec, TornFrameWaitsForMoreBytes) {
+  net::FrameDecoder decoder;
+  std::string payload;
+  decoder.feed("11\nhello");  // length says 11, only 5 payload bytes here
+  EXPECT_FALSE(decoder.next(&payload));
+  decoder.feed(" world");
+  EXPECT_FALSE(decoder.next(&payload));  // still missing the terminator
+  decoder.feed("\n");
+  EXPECT_TRUE(decoder.next(&payload));
+  EXPECT_EQ(payload, "hello world");
+}
+
+TEST(FrameCodec, EncodeRefusesOversizedPayload) {
+  EXPECT_THROW(net::encode_frame(std::string(net::kMaxFramePayload + 1, 'x')),
+               net::FrameError);
+}
+
+TEST(FrameCodec, OversizedLengthThrows) {
+  net::FrameDecoder decoder;
+  std::string payload;
+  decoder.feed(std::to_string(net::kMaxFramePayload + 1) + "\n");
+  EXPECT_THROW(decoder.next(&payload), net::FrameError);
+}
+
+TEST(FrameCodec, GarbagePrefixThrows) {
+  for (const char* garbage : {"abc\n", "-3\nxxx\n", " 3\nabc\n", "3x\nabc\n",
+                              "\n\n", "{\"type\":\"hello\"}\n"}) {
+    net::FrameDecoder decoder;
+    std::string payload;
+    decoder.feed(garbage);
+    EXPECT_THROW(decoder.next(&payload), net::FrameError) << garbage;
+  }
+}
+
+TEST(FrameCodec, TooManyLengthDigitsThrowsWithoutWaiting) {
+  net::FrameDecoder decoder;
+  std::string payload;
+  // More digits than kMaxLengthDigits, no newline yet: the prefix alone is
+  // already hopeless, so the decoder must not wait for more bytes.
+  decoder.feed(std::string(net::kMaxLengthDigits + 1, '9'));
+  EXPECT_THROW(decoder.next(&payload), net::FrameError);
+}
+
+TEST(FrameCodec, MissingTrailingNewlineThrows) {
+  net::FrameDecoder decoder;
+  std::string payload;
+  decoder.feed("3\nabcX");  // terminator position holds 'X', not '\n'
+  EXPECT_THROW(decoder.next(&payload), net::FrameError);
+}
+
+TEST(FrameCodec, PoisonedDecoderKeepsThrowing) {
+  net::FrameDecoder decoder;
+  std::string payload;
+  decoder.feed("bogus\n");
+  EXPECT_THROW(decoder.next(&payload), net::FrameError);
+  // The stream is dead: even feeding perfectly valid bytes throws.
+  EXPECT_THROW(decoder.feed(net::encode_frame("valid")), net::FrameError);
+  EXPECT_THROW(decoder.next(&payload), net::FrameError);
+}
+
+TEST(FrameCodec, ManyFramesOneFeed) {
+  std::string bytes;
+  for (int i = 0; i < 100; ++i)
+    bytes += net::encode_frame("msg" + std::to_string(i));
+  net::FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::string payload;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(decoder.next(&payload));
+    EXPECT_EQ(payload, "msg" + std::to_string(i));
+  }
+  EXPECT_FALSE(decoder.next(&payload));
+}
+
+// ---- loopback sockets ----------------------------------------------------
+
+TEST(Sockets, LoopbackMessageRoundTrip) {
+  net::TcpListener listener("127.0.0.1", 0);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread client_thread([&] {
+    net::MessageConnection client(
+        net::TcpSocket::connect("127.0.0.1", listener.port(), 5.0));
+    client.send_line("ping with payload");
+    std::string reply;
+    ASSERT_EQ(client.recv_line(&reply, 5.0), net::RecvStatus::kMessage);
+    EXPECT_EQ(reply, "pong");
+  });
+
+  auto accepted = listener.accept(5.0);
+  ASSERT_TRUE(accepted.has_value());
+  net::MessageConnection server(std::move(*accepted));
+  std::string line;
+  ASSERT_EQ(server.recv_line(&line, 5.0), net::RecvStatus::kMessage);
+  EXPECT_EQ(line, "ping with payload");
+  server.send_line("pong");
+  client_thread.join();
+}
+
+TEST(Sockets, ZeroDeadlineDrainsOnlyBufferedData) {
+  net::TcpListener listener("127.0.0.1", 0);
+  net::TcpSocket client =
+      net::TcpSocket::connect("127.0.0.1", listener.port(), 5.0);
+  auto accepted = listener.accept(5.0);
+  ASSERT_TRUE(accepted.has_value());
+  net::MessageConnection server(std::move(*accepted));
+
+  // Nothing sent yet: a zero deadline must report timeout immediately.
+  std::string line;
+  EXPECT_EQ(server.recv_line(&line, 0.0), net::RecvStatus::kTimeout);
+
+  client.send_all(net::encode_frame("arrived"));
+  // Give the loopback a moment to deliver, then drain without blocking.
+  ASSERT_EQ(server.recv_line(&line, 2.0), net::RecvStatus::kMessage);
+  EXPECT_EQ(line, "arrived");
+  EXPECT_EQ(server.recv_line(&line, 0.0), net::RecvStatus::kTimeout);
+}
+
+TEST(Sockets, PeerCloseSurfacesAsClosed) {
+  net::TcpListener listener("127.0.0.1", 0);
+  {
+    net::TcpSocket client =
+        net::TcpSocket::connect("127.0.0.1", listener.port(), 5.0);
+    auto accepted = listener.accept(5.0);
+    ASSERT_TRUE(accepted.has_value());
+    net::MessageConnection server(std::move(*accepted));
+    client.close();
+    std::string line;
+    EXPECT_EQ(server.recv_line(&line, 5.0), net::RecvStatus::kClosed);
+  }
+}
+
+TEST(Sockets, ConnectToClosedPortThrows) {
+  // Bind-then-close to find a port that is very likely unused.
+  std::uint16_t dead_port;
+  {
+    net::TcpListener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(net::TcpSocket::connect("127.0.0.1", dead_port, 2.0),
+               net::SocketError);
+}
+
+TEST(Sockets, GarbageOnTheWireSurfacesAsFrameError) {
+  net::TcpListener listener("127.0.0.1", 0);
+  net::TcpSocket client =
+      net::TcpSocket::connect("127.0.0.1", listener.port(), 5.0);
+  auto accepted = listener.accept(5.0);
+  ASSERT_TRUE(accepted.has_value());
+  net::MessageConnection server(std::move(*accepted));
+
+  client.send_all("this is not a frame\n");
+  std::string line;
+  EXPECT_THROW(server.recv_line(&line, 5.0), net::FrameError);
+}
+
+}  // namespace
