@@ -1,0 +1,142 @@
+// Observability overhead gate: the metrics registry, timing spans, and
+// snapshot sink must cost (almost) nothing. Runs the same random-value
+// campaign with observability fully ON (live trace session + per-second
+// metrics snapshot sink) and fully OFF, alternating repetitions to cancel
+// thermal/cache drift, compares best-of wall times, and verifies the
+// campaign fingerprints are identical both ways (the inertness contract,
+// also enforced by tests/determinism_test.cpp). Emits
+// BENCH_observability.json and exits nonzero when the relative overhead
+// exceeds the gate (default 2%) or any fingerprint diverges, so CI holds
+// the instrumentation to its "cheap enough to leave on" promise.
+//
+//   ./bench_observability [runs] [out.json] [max_overhead]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign_stats.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "core/progress.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/scenario.h"
+
+using namespace drivefi;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 64;
+  const std::string out_path =
+      argc > 2 ? argv[2] : "BENCH_observability.json";
+  const double max_overhead = argc > 3 ? std::atof(argv[3]) : 0.02;
+  constexpr int kReps = 5;
+
+  ads::PipelineConfig config;
+  config.seed = 11;
+  const core::Experiment experiment(sim::base_suite(), config, {}, {});
+  const core::RandomValueModel model(runs, 2024);
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "bench_observability_trace.json")
+          .string();
+
+  std::printf("observability overhead bench: %zu runs x %d reps each way\n",
+              runs, kReps);
+
+  // Warm-up rep (page cache, allocator, branch predictors) -- not timed.
+  experiment.run(model);
+
+  std::vector<double> baseline, instrumented;
+  std::set<std::string> fingerprints;
+  std::uint64_t trace_events = 0;
+  std::size_t snapshot_lines = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::CampaignStats stats = experiment.run(model);
+      baseline.push_back(seconds_since(t0));
+      fingerprints.insert(core::campaign_fingerprint(stats));
+    }
+    {
+      obs::metrics().reset();
+      obs::start_tracing(trace_path);
+      std::ostringstream metrics_out;
+      core::MetricsSnapshotSink sink(metrics_out, /*interval_seconds=*/1.0);
+      std::vector<core::ResultSink*> sinks = {&sink};
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::CampaignStats stats = experiment.run(model, sinks);
+      instrumented.push_back(seconds_since(t0));
+      trace_events = obs::trace_events_written();
+      obs::stop_tracing();
+      snapshot_lines = sink.snapshots_written();
+      fingerprints.insert(core::campaign_fingerprint(stats));
+    }
+    std::printf("  rep %d: baseline %.3fs  instrumented %.3fs\n", rep + 1,
+                baseline.back(), instrumented.back());
+  }
+  std::filesystem::remove(trace_path);
+
+  // Best-of comparison: min is the noise-robust estimator for "how fast
+  // can this go", which is what an overhead gate should compare.
+  const double best_base = *std::min_element(baseline.begin(), baseline.end());
+  const double best_inst =
+      *std::min_element(instrumented.begin(), instrumented.end());
+  const double overhead = best_inst / best_base - 1.0;
+  const bool identical = fingerprints.size() == 1;
+
+  std::printf("  best baseline     %.4fs\n", best_base);
+  std::printf("  best instrumented %.4fs  (%llu trace events, %zu metrics "
+              "snapshots)\n",
+              best_inst, static_cast<unsigned long long>(trace_events),
+              snapshot_lines);
+  std::printf("  overhead          %+.2f%%  (gate %.2f%%)\n", overhead * 100,
+              max_overhead * 100);
+  std::printf("  fingerprints identical: %s\n", identical ? "yes" : "NO");
+
+  std::ofstream json(out_path);
+  json << "{\n";
+  json << "  \"bench\": \"observability\",\n";
+  json << "  \"runs\": " << runs << ",\n";
+  json << "  \"reps\": " << kReps << ",\n";
+  json << "  \"best_baseline_seconds\": " << best_base << ",\n";
+  json << "  \"best_instrumented_seconds\": " << best_inst << ",\n";
+  json << "  \"overhead\": " << overhead << ",\n";
+  json << "  \"max_overhead\": " << max_overhead << ",\n";
+  json << "  \"trace_events\": " << trace_events << ",\n";
+  json << "  \"metrics_snapshots\": " << snapshot_lines << ",\n";
+  json << "  \"fingerprints_identical\": " << (identical ? "true" : "false")
+       << "\n";
+  json << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: observability changed campaign results (fingerprints "
+                 "diverged; the inertness contract is broken)\n");
+    return 1;
+  }
+  if (overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead %.2f%% exceeds the %.2f%% "
+                 "gate\n",
+                 overhead * 100, max_overhead * 100);
+    return 1;
+  }
+  return 0;
+}

@@ -97,7 +97,8 @@ inline CampaignSetup build_campaign(const CampaignArgs& a, bool quiet) {
   setup.scenario_spec = a.scn_path.empty() ? "builtin:base" : a.scn_path;
   if (a.scenarios_limit > 0 && a.scenarios_limit < suite.size()) {
     suite.resize(a.scenarios_limit);
-    setup.scenario_spec += ":" + std::to_string(a.scenarios_limit);
+    setup.scenario_spec += ":";
+    setup.scenario_spec += std::to_string(a.scenarios_limit);
   }
 
   ads::PipelineConfig config;

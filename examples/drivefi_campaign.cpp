@@ -13,6 +13,14 @@
 //                          (or --resume) a store already holding records is
 //                          refused, never silently clobbered
 //     --progress           live status line (runs/s, ETA) on stderr
+//     --metrics-out FILE   periodic metrics snapshots (JSONL) while running
+//     --metrics-interval S snapshot cadence in seconds (default 1)
+//     --trace-out FILE     Chrome trace-event JSON (chrome://tracing,
+//                          Perfetto) of the campaign's timing spans
+//     Observability is inert: the canonical records, fingerprint, and
+//     manifest are byte-identical with or without these flags
+//     (tests/determinism_test.cpp enforces it). A final {"type":"telemetry"}
+//     summary line is printed on stderr either way.
 //
 //   drivefi_campaign worker --connect HOST:PORT [campaign options]
 //     --store FILE         local scratch store (default <name>.local.jsonl)
@@ -29,6 +37,12 @@
 //     coverage), writes the canonical campaign JSONL -- byte-identical to
 //     the single-process run -- and prints the outcome table.
 //
+//   drivefi_campaign status --connect HOST:PORT [--json]
+//     Asks a running drivefi_campaignd for its status (no campaign options
+//     needed -- the probe is read-only) and renders campaign totals plus a
+//     per-worker fleet table. --json prints the raw status_reply line
+//     instead (docs/FORMATS.md "Status wire message").
+//
 // A complete sharded campaign across two machines is just:
 //   machine A:  drivefi_campaign run --runs 100000 --shard 0/2 --store a.jsonl
 //   machine B:  drivefi_campaign run --runs 100000 --shard 1/2 --store b.jsonl
@@ -43,15 +57,21 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "campaign_cli.h"
+#include "coord/protocol.h"
 #include "coord/worker.h"
+#include "core/jsonl.h"
 #include "core/manifest.h"
 #include "core/progress.h"
 #include "core/report.h"
 #include "core/result_store.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 using namespace drivefi;
 
@@ -60,16 +80,19 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run [options] | %s worker --connect HOST:PORT "
-               "[options] | %s merge --jsonl OUT SHARD...\n"
+               "[options] | %s merge --jsonl OUT SHARD... | %s status "
+               "--connect HOST:PORT [--json]\n"
                "(see the header of examples/drivefi_campaign.cpp or\n"
                " docs/FORMATS.md for the full option list)\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
 int cmd_run(int argc, char** argv) {
   campaign_cli::CampaignArgs args;
   std::string store_path;
+  std::string metrics_out, trace_out;
+  double metrics_interval = 1.0;
   std::size_t shard_index = 0, shard_count = 1;
   bool resume = false;
   bool overwrite = false;
@@ -89,6 +112,9 @@ int cmd_run(int argc, char** argv) {
     else if (arg == "--resume") resume = true;
     else if (arg == "--overwrite") overwrite = true;
     else if (arg == "--progress") progress = true;
+    else if (arg == "--metrics-out") metrics_out = next();
+    else if (arg == "--metrics-interval") metrics_interval = std::atof(next());
+    else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--shard") {
       const std::string value = next();
       const std::size_t slash = value.find('/');
@@ -131,6 +157,10 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  // Tracing spans the whole campaign, golden precompute included -- that is
+  // where most of the interesting wall time lives on short campaigns.
+  if (!trace_out.empty()) obs::start_tracing(trace_out);
+
   campaign_cli::CampaignSetup setup = campaign_cli::build_campaign(args, false);
 
   // -- manifest + durable shard store ---------------------------------------
@@ -153,8 +183,23 @@ int cmd_run(int argc, char** argv) {
   core::ProgressSink progress_sink(std::cerr);
   std::vector<core::ResultSink*> sinks;
   if (progress) sinks.push_back(&progress_sink);
+  std::ofstream metrics_stream;
+  std::unique_ptr<core::MetricsSnapshotSink> metrics_sink;
+  if (!metrics_out.empty()) {
+    metrics_stream.open(metrics_out, std::ios::binary | std::ios::trunc);
+    if (!metrics_stream) {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    metrics_sink = std::make_unique<core::MetricsSnapshotSink>(
+        metrics_stream, metrics_interval);
+    sinks.push_back(metrics_sink.get());
+  }
   const core::CampaignStats stats =
       setup.experiment->run_shard(*setup.model, store, sinks);
+  if (!trace_out.empty()) obs::stop_tracing();
+  std::fprintf(stderr, "%s\n",
+               obs::telemetry_jsonl(stats.wall_seconds).c_str());
   core::outcome_table(stats).print("shard outcomes (this sitting)");
   std::printf("executed %zu runs in %.2f s; store now holds %zu records\n",
               stats.total(), stats.wall_seconds, store.completed().size());
@@ -205,10 +250,93 @@ int cmd_worker(int argc, char** argv) {
               worker.config().name.c_str(), worker.config().store_path.c_str(),
               worker.config().host.c_str(), worker.config().port);
   const coord::WorkerStats stats = worker.run();
+  std::fprintf(stderr, "%s\n",
+               obs::telemetry_jsonl(stats.wall_seconds).c_str());
   std::printf("worker done: %zu runs executed, %zu leases completed, %zu "
               "revoked, %.2f s\n",
               stats.runs_executed, stats.leases_completed,
               stats.leases_revoked, stats.wall_seconds);
+  return 0;
+}
+
+int cmd_status(int argc, char** argv) {
+  std::string host;
+  std::uint16_t port = 0;
+  bool have_connect = false;
+  bool raw_json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --connect needs a value\n");
+        return 2;
+      }
+      campaign_cli::parse_host_port(argv[++i], &host, &port);
+      have_connect = true;
+    } else if (arg == "--json") {
+      raw_json = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!have_connect) {
+    std::fprintf(stderr, "error: status needs --connect HOST:PORT\n");
+    return 2;
+  }
+
+  net::MessageConnection conn(net::TcpSocket::connect(host, port, 5.0));
+  conn.send_line(encode(coord::StatusRequestMsg{}));
+  std::string line;
+  if (conn.recv_line(&line, 5.0) != net::RecvStatus::kMessage) {
+    std::fprintf(stderr, "error: no status reply from %s:%u\n", host.c_str(),
+                 port);
+    return 1;
+  }
+  if (coord::message_type(line) == "error") {
+    std::fprintf(stderr, "error: coordinator: %s\n",
+                 coord::parse_error(line).message.c_str());
+    return 1;
+  }
+  if (raw_json) {
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+
+  const coord::StatusReplyMsg reply = coord::parse_status_reply(line);
+  const double percent =
+      reply.planned_runs > 0
+          ? 100.0 * static_cast<double>(reply.completed_runs) /
+                static_cast<double>(reply.planned_runs)
+          : 0.0;
+  std::printf("campaign: %zu/%zu runs stored (%.1f%%), %zu worker(s), "
+              "coordinator up %.1f s\n",
+              reply.completed_runs, reply.planned_runs, percent,
+              reply.workers, reply.elapsed_seconds);
+  if (!reply.worker_table.empty()) {
+    std::printf("%-20s %7s %7s %11s %9s %9s\n", "worker", "threads", "leases",
+                "leased runs", "reported", "hb age");
+    std::istringstream table(reply.worker_table);
+    std::string row;
+    while (std::getline(table, row)) {
+      const core::JsonLine json(row);
+      const double hb_age = json.get_double("heartbeat_age_seconds");
+      char hb_text[32];
+      if (hb_age < 0.0)
+        std::snprintf(hb_text, sizeof(hb_text), "--");
+      else
+        std::snprintf(hb_text, sizeof(hb_text), "%.1f s", hb_age);
+      std::printf("%-20s %7llu %7llu %11llu %9llu %9s\n",
+                  json.get_string("worker").c_str(),
+                  static_cast<unsigned long long>(json.get_u64("threads")),
+                  static_cast<unsigned long long>(
+                      json.get_u64("active_leases")),
+                  static_cast<unsigned long long>(json.get_u64("leased_runs")),
+                  static_cast<unsigned long long>(
+                      json.get_u64("reported_done")),
+                  hb_text);
+    }
+  }
   return 0;
 }
 
@@ -260,6 +388,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(argc - 2, argv + 2);
     if (command == "worker") return cmd_worker(argc - 2, argv + 2);
     if (command == "merge") return cmd_merge(argc - 2, argv + 2);
+    if (command == "status") return cmd_status(argc - 2, argv + 2);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

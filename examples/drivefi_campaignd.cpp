@@ -18,6 +18,11 @@
 //                          (default 5)
 //     --jsonl OUT          write the canonical campaign JSONL on completion
 //     --quiet              no live progress line
+//     --metrics-out FILE   periodic fleet metrics snapshots (JSONL)
+//     --metrics-interval S snapshot cadence in seconds (default 1)
+//     --trace-out FILE     Chrome trace-event JSON of coordinator spans
+//     A final {"type":"telemetry"} summary line lands on stderr at exit;
+//     `drivefi_campaign status --connect HOST:PORT` queries a live fleet.
 //
 // The merged output is byte-identical (wall_seconds aside) to
 // `drivefi_campaign run` of the same campaign -- regardless of worker
@@ -34,6 +39,8 @@
 #include "core/manifest.h"
 #include "core/report.h"
 #include "core/result_store.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 using namespace drivefi;
 
@@ -41,7 +48,7 @@ int main(int argc, char** argv) {
   campaign_cli::CampaignArgs args;
   coord::CoordinatorConfig config;
   std::string store_path = "campaign.master.jsonl";
-  std::string port_file, jsonl_path;
+  std::string port_file, jsonl_path, trace_out;
   bool resume = false, overwrite = false, quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +73,10 @@ int main(int argc, char** argv) {
       config.heartbeat_timeout = std::atof(next());
     else if (arg == "--jsonl") jsonl_path = next();
     else if (arg == "--quiet") quiet = true;
+    else if (arg == "--metrics-out") config.metrics_out = next();
+    else if (arg == "--metrics-interval")
+      config.metrics_interval_seconds = std::atof(next());
+    else if (arg == "--trace-out") trace_out = next();
     else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       return 2;
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
   config.print_progress = !quiet;
 
   try {
+    if (!trace_out.empty()) obs::start_tracing(trace_out);
     // Same pre-flight as `run`: refuse to clobber durable work before the
     // golden precompute is spent.
     if (!resume && !overwrite &&
@@ -122,6 +134,9 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     const coord::FleetStats fleet = coordinator.serve();
+    if (!trace_out.empty()) obs::stop_tracing();
+    std::fprintf(stderr, "%s\n",
+                 obs::telemetry_jsonl(fleet.wall_seconds).c_str());
     std::printf("fleet campaign complete: %zu runs stored this sitting "
                 "(%zu duplicates dropped), %zu leases granted / %zu expired "
                 "/ %zu stolen, %zu workers, %.2f s\n",

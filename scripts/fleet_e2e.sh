@@ -5,6 +5,11 @@
 # campaign JSONL to be byte-identical (wall_seconds scrubbed) to a
 # single-process reference run of the same campaign.
 #
+# Also exercises the observability surface end to end: the daemon runs
+# with --metrics-out and --trace-out, a `drivefi_campaign status` probe
+# queries the live fleet, and both telemetry files must validate as JSON
+# (they are copied into BUILD_DIR for CI artifact upload).
+#
 #   scripts/fleet_e2e.sh BUILD_DIR [RUNS]
 set -euo pipefail
 
@@ -39,6 +44,8 @@ echo "== coordinator =="
   --listen 127.0.0.1:0 --port-file "$WORK/port" \
   --store "$WORK/master.jsonl" --overwrite \
   --lease-runs 4 --heartbeat-timeout 3 \
+  --metrics-out "$WORK/fleet.metrics.jsonl" --metrics-interval 0.2 \
+  --trace-out "$WORK/fleet.trace.json" \
   --jsonl "$WORK/fleet.jsonl" --quiet > "$WORK/coordinator.log" 2>&1 &
 COORD_PID=$!
 
@@ -50,6 +57,14 @@ for _ in $(seq 1 100); do
 done
 PORT=$(cat "$WORK/port")
 echo "coordinator on port $PORT"
+
+echo "== status probe =="
+# The live-fleet introspection path: a status query needs no campaign
+# knowledge and must answer before any worker has connected.
+"$BUILD_DIR/drivefi_campaign" status --connect "127.0.0.1:$PORT" \
+  | tee "$WORK/status.txt"
+grep -q "campaign: 0/$RUNS runs stored" "$WORK/status.txt" || {
+  echo "FAIL: status probe did not report the fresh campaign"; exit 1; }
 
 echo "== 3 workers =="
 for w in 1 2 3; do
@@ -91,3 +106,30 @@ if ! diff <(scrub "$WORK/ref.jsonl") <(scrub "$WORK/fleet.jsonl"); then
 fi
 grep -E "fleet campaign complete" "$WORK/coordinator.log" || true
 echo "PASS: fleet output byte-identical to the single-process campaign"
+
+echo "== telemetry artifacts =="
+python3 - "$WORK/fleet.trace.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace file holds no events"
+for event in events:
+    assert event["ph"] == "X" and event["cat"] == "drivefi", event
+print(f"trace OK: {len(events)} complete events")
+PYEOF
+python3 - "$WORK/fleet.metrics.jsonl" "$RUNS" <<'PYEOF'
+import json, sys
+snapshots = [json.loads(line) for line in open(sys.argv[1])]
+assert snapshots, "no metrics snapshots written"
+for i, snap in enumerate(snapshots):
+    assert snap["type"] == "metrics" and snap["seq"] == i, snap
+assert snapshots[-1]["fleet.completed_runs"] == int(sys.argv[2]), snapshots[-1]
+print(f"metrics OK: {len(snapshots)} snapshots, final fleet.completed_runs "
+      f"= {snapshots[-1]['fleet.completed_runs']:g}")
+PYEOF
+# A telemetry summary line must land on the daemon's stderr at exit.
+grep -q '"type":"telemetry"' "$WORK/coordinator.log" || {
+  echo "FAIL: no telemetry summary line in the coordinator log"; exit 1; }
+cp "$WORK/fleet.metrics.jsonl" "$WORK/fleet.trace.json" "$BUILD_DIR/"
+echo "PASS: telemetry artifacts validate; copied into $BUILD_DIR"

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace drivefi::bn {
 
 using util::Cholesky;
@@ -46,6 +49,8 @@ std::vector<double> CompiledQuery::mean(
   if (intervention_values.size() != ni || evidence_values.size() != nb)
     throw std::invalid_argument(
         "CompiledQuery::mean: value counts do not match the plan structure");
+  static obs::Counter& queries_metric = obs::metrics().counter("bn.queries");
+  queries_metric.add();
 
   // Residual r = e - mu0_b - G_b v.
   std::vector<double> residual(nb);
@@ -87,6 +92,12 @@ Matrix CompiledQuery::mean_batch(const Matrix& intervention_values,
     throw std::invalid_argument(
         "CompiledQuery::mean_batch: matrix shapes do not match the plan "
         "structure");
+  static obs::Counter& batched_metric =
+      obs::metrics().counter("bn.batched_queries");
+  static obs::Counter& rows_metric =
+      obs::metrics().counter("bn.batched_rows");
+  batched_metric.add();
+  rows_metric.add(rows);
 
   Matrix out(rows, nq);
   std::vector<double> residual(nb);
@@ -143,7 +154,12 @@ const CompiledQuery& CompiledNetwork::plan_for(
 
   std::lock_guard<std::mutex> lock(plans_mutex_);
   const auto found = plans_.find(key);
-  if (found != plans_.end()) return *found->second;
+  if (found != plans_.end()) {
+    obs::metrics().counter("bn.plan_cache_hits").add();
+    return *found->second;
+  }
+  obs::metrics().counter("bn.plan_cache_misses").add();
+  DFI_SPAN("bn.compile_plan");
 
   const std::vector<std::size_t> i_idx = resolve_ids(net_, interventions);
   const std::vector<std::size_t> b_idx = resolve_ids(net_, evidence);

@@ -2,14 +2,20 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 #include "coord/protocol.h"
+#include "core/jsonl.h"
 #include "core/progress.h"
 #include "core/result_store.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/logging.h"
+#include "util/number_format.h"
 
 namespace drivefi::coord {
 
@@ -63,6 +69,13 @@ FleetStats Coordinator::serve() {
   started_ = now_seconds();
   completed_at_start_ = store_.completed().size();
   last_progress_ = -1.0;
+  if (!config_.metrics_out.empty() && !metrics_stream_) {
+    metrics_stream_ = std::make_unique<std::ofstream>(
+        config_.metrics_out, std::ios::binary | std::ios::trunc);
+    if (!*metrics_stream_)
+      throw std::runtime_error("coordinator: cannot open metrics file " +
+                               config_.metrics_out);
+  }
 
   while (!stop_.load() &&
          store_.completed().size() < manifest_.planned_runs) {
@@ -101,11 +114,10 @@ FleetStats Coordinator::serve() {
       } catch (const std::exception& error) {
         // Socket death or a corrupt stream: this worker is gone. Its
         // leases go back to pending; the campaign carries on.
-        if (config_.print_progress)
-          std::fprintf(stderr, "\ncoordinator: dropping %s: %s\n",
-                       conn->worker.empty() ? "<pre-hello>"
-                                            : conn->worker.c_str(),
-                       error.what());
+        if (config_.print_progress) std::fprintf(stderr, "\n");
+        DFI_LOG_WARN << "coordinator: dropping "
+                     << (conn->worker.empty() ? "<pre-hello>" : conn->worker)
+                     << ": " << error.what();
         conn->defunct = true;
       }
     }
@@ -125,15 +137,17 @@ FleetStats Coordinator::serve() {
     // ---- expire straggler leases (work stealing, half 1) -------------
     const double now = now_seconds();
     const auto expired = ledger_.expire(now);
-    if (!expired.empty() && config_.print_progress)
+    if (!expired.empty()) {
+      if (config_.print_progress) std::fprintf(stderr, "\n");
       for (const Lease& lease : expired)
-        std::fprintf(stderr,
-                     "\ncoordinator: lease %llu (%s) missed its heartbeat; "
-                     "%zu runs re-queued\n",
-                     static_cast<unsigned long long>(lease.id),
-                     lease.worker.c_str(), lease.run_indices.size());
+        DFI_LOG_WARN << "coordinator: lease " << lease.id << " ("
+                     << lease.worker << ") missed its heartbeat; "
+                     << lease.run_indices.size() << " runs re-queued";
+    }
 
+    update_fleet_gauges(now);
     maybe_print_progress(now, false);
+    maybe_write_metrics(now, false);
   }
 
   // ---- completion: tell everyone, then hang up -----------------------
@@ -147,7 +161,10 @@ FleetStats Coordinator::serve() {
   }
   connections_.clear();
 
-  maybe_print_progress(now_seconds(), true);
+  const double done_at = now_seconds();
+  update_fleet_gauges(done_at);
+  maybe_print_progress(done_at, true);
+  maybe_write_metrics(done_at, true);
   if (config_.print_progress) std::fprintf(stderr, "\n");
 
   stats_.leases_granted = ledger_.leases_granted();
@@ -162,6 +179,16 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
   const std::string type = message_type(line);
 
   if (!conn.hello_done) {
+    if (type == "status") {
+      // Read-only introspection: no hello, no manifest hash. Answer once
+      // and hang up -- a status probe never becomes a worker.
+      obs::metrics().counter("coord.status_requests").add();
+      const double now = now_seconds();
+      update_fleet_gauges(now);
+      conn.msg.send_line(build_status_reply(now));
+      conn.defunct = true;
+      return;
+    }
     if (type != "hello") {
       conn.msg.send_line(encode(ErrorMsg{"expected hello, got " + type}));
       conn.defunct = true;
@@ -200,6 +227,7 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
   }
 
   if (type == "lease_request") {
+    DFI_SPAN("coord.grant");
     if (store_.completed().size() >= manifest_.planned_runs) {
       conn.msg.send_line(encode(CompleteMsg{}));
       return;
@@ -218,6 +246,7 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
   }
 
   if (type == "heartbeat") {
+    obs::metrics().counter("coord.heartbeats").add();
     const HeartbeatMsg hb = parse_heartbeat(line);
     HeartbeatAckMsg ack;
     ack.lease_id = hb.lease_id;
@@ -243,8 +272,17 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
       // presumed-dead worker, re-executed reclaimed lease) is byte-equal
       // to the stored copy, so dropping it is a no-op, never corruption.
       ++stats_.duplicates_dropped;
+      obs::metrics().counter("coord.duplicates_dropped").add();
     } else {
+      DFI_SPAN("coord.merge_append");
+      const auto append_start = std::chrono::steady_clock::now();
       store_.append(record);  // THE merge step, durable per record
+      obs::metrics()
+          .histogram("coord.merge_append_seconds")
+          .observe(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - append_start)
+                       .count());
+      obs::metrics().counter("coord.records_stored").add();
       ++stats_.runs_completed;
     }
     ledger_.note_stored(record.run_index);
@@ -265,12 +303,89 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
   conn.defunct = true;
 }
 
+void Coordinator::update_fleet_gauges(double) {
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.gauge("fleet.planned_runs")
+      .set(static_cast<double>(manifest_.planned_runs));
+  registry.gauge("fleet.completed_runs")
+      .set(static_cast<double>(store_.completed().size()));
+  registry.gauge("fleet.pending_runs")
+      .set(static_cast<double>(ledger_.pending_count()));
+  registry.gauge("fleet.active_leases")
+      .set(static_cast<double>(ledger_.active_lease_count()));
+  registry.gauge("fleet.workers")
+      .set(static_cast<double>(worker_threads_.size()));
+  registry.gauge("fleet.leases_granted")
+      .set(static_cast<double>(ledger_.leases_granted()));
+  registry.gauge("fleet.leases_expired")
+      .set(static_cast<double>(ledger_.leases_expired()));
+  registry.gauge("fleet.leases_stolen")
+      .set(static_cast<double>(ledger_.leases_stolen()));
+}
+
+void Coordinator::maybe_write_metrics(double now, bool force) {
+  if (!metrics_stream_) return;
+  if (!force && last_metrics_ >= 0.0 &&
+      now - last_metrics_ < config_.metrics_interval_seconds)
+    return;
+  last_metrics_ = now;
+  *metrics_stream_ << "{\"type\":\"metrics\",\"seq\":" << metrics_seq_++
+                   << ",\"elapsed_seconds\":"
+                   << util::shortest_double(started_ > 0.0 ? now - started_
+                                                           : 0.0);
+  for (const auto& [key, value] : obs::metrics().snapshot_fields())
+    *metrics_stream_ << ",\"" << core::json_escape(key) << "\":" << value;
+  *metrics_stream_ << "}\n";
+  metrics_stream_->flush();
+}
+
+std::string Coordinator::build_status_reply(double now) const {
+  StatusReplyMsg reply;
+  reply.planned_runs = manifest_.planned_runs;
+  reply.completed_runs = store_.completed().size();
+  reply.elapsed_seconds = started_ > 0.0 ? now - started_ : 0.0;
+  reply.workers = worker_threads_.size();
+
+  std::ostringstream table;
+  bool first = true;
+  for (const auto& [worker, threads] : worker_threads_) {
+    std::size_t active = 0;
+    std::size_t leased = 0;
+    std::size_t done = 0;
+    double last_heartbeat = -1.0;
+    for (const auto& [id, lease] : ledger_.active_leases()) {
+      if (lease.worker != worker) continue;
+      ++active;
+      leased += lease.run_indices.size();
+      done += lease.reported_done;
+      last_heartbeat = std::max(last_heartbeat, lease.last_heartbeat);
+    }
+    if (!first) table << '\n';
+    first = false;
+    table << "{\"worker\":\"" << core::json_escape(worker)
+          << "\",\"threads\":" << threads << ",\"active_leases\":" << active
+          << ",\"leased_runs\":" << leased << ",\"reported_done\":" << done
+          << ",\"heartbeat_age_seconds\":"
+          << util::shortest_double(last_heartbeat >= 0.0
+                                       ? now - last_heartbeat
+                                       : -1.0)
+          << "}";
+  }
+  reply.worker_table = table.str();
+  reply.metrics = obs::metrics().snapshot_jsonl("metrics");
+  return encode(reply);
+}
+
 void Coordinator::maybe_print_progress(double now, bool force) {
   if (!config_.print_progress) return;
   if (!force && last_progress_ >= 0.0 && now - last_progress_ < 1.0) return;
   last_progress_ = now;
 
-  const std::size_t completed = store_.completed().size();
+  // Sourced from the fleet.* gauges, not the store directly: the line on
+  // screen is provably the same data a status_reply or metrics snapshot
+  // taken this tick would carry (update_fleet_gauges runs first).
+  const auto completed = static_cast<std::size_t>(
+      obs::metrics().gauge("fleet.completed_runs").value());
   const double elapsed = now - started_;
   const double rate =
       elapsed > 0.0

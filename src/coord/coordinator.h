@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -45,6 +46,8 @@ struct CoordinatorConfig {
   double heartbeat_timeout = 5.0;
   double tick_seconds = 0.05;    ///< event-loop granularity (expiry, progress)
   bool print_progress = true;    ///< live fleet status line on stderr
+  std::string metrics_out;       ///< JSONL metrics snapshots; empty = off
+  double metrics_interval_seconds = 1.0;  ///< cadence of metrics_out lines
 };
 
 /// Aggregate outcome of one serve() sitting.
@@ -87,6 +90,13 @@ class Coordinator {
 
   void handle_message(Connection& conn, const std::string& line);
   void maybe_print_progress(double now, bool force);
+  /// Publishes the fleet.* gauges (planned/completed/pending runs, active
+  /// leases, workers, lease totals) to the process metrics registry. The
+  /// status line, the status_reply message, and --metrics-out snapshots
+  /// all READ these gauges, so the three views can never disagree.
+  void update_fleet_gauges(double now);
+  void maybe_write_metrics(double now, bool force);
+  std::string build_status_reply(double now) const;
   double now_seconds() const;
 
   core::CampaignManifest manifest_;
@@ -103,6 +113,9 @@ class Coordinator {
   double started_ = 0.0;
   double last_progress_ = -1.0;
   std::size_t completed_at_start_ = 0;
+  std::unique_ptr<std::ofstream> metrics_stream_;
+  double last_metrics_ = -1.0;
+  std::uint64_t metrics_seq_ = 0;
 };
 
 }  // namespace drivefi::coord

@@ -86,6 +86,20 @@ std::string encode(const LeaseDoneMsg& m) {
   return out.str();
 }
 
+std::string encode(const StatusRequestMsg&) { return "{\"type\":\"status\"}"; }
+
+std::string encode(const StatusReplyMsg& m) {
+  std::ostringstream out;
+  out << "{\"type\":\"status_reply\",\"protocol\":" << m.protocol
+      << ",\"planned_runs\":" << m.planned_runs << ",\"completed_runs\":"
+      << m.completed_runs << ",\"elapsed_seconds\":"
+      << util::shortest_double(m.elapsed_seconds) << ",\"workers\":"
+      << m.workers << ",\"worker_table\":\""
+      << core::json_escape(m.worker_table) << "\",\"metrics\":\""
+      << core::json_escape(m.metrics) << "\"}";
+  return out.str();
+}
+
 std::string encode(const WelcomeMsg& m) {
   std::ostringstream out;
   out << "{\"type\":\"welcome\",\"protocol\":" << m.protocol
@@ -166,6 +180,20 @@ LeaseDoneMsg parse_lease_done(const std::string& line) {
   expect_type(json, "lease_done", line);
   LeaseDoneMsg m;
   m.lease_id = json.get_u64("lease_id");
+  return m;
+}
+
+StatusReplyMsg parse_status_reply(const std::string& line) {
+  const core::JsonLine json(line);
+  expect_type(json, "status_reply", line);
+  StatusReplyMsg m;
+  m.protocol = json.get_u64("protocol");
+  m.planned_runs = json.get_u64("planned_runs");
+  m.completed_runs = json.get_u64("completed_runs");
+  m.elapsed_seconds = json.get_double("elapsed_seconds");
+  m.workers = json.get_u64("workers");
+  m.worker_table = json.get_string("worker_table");
+  m.metrics = json.get_string("metrics");
   return m;
 }
 

@@ -75,6 +75,12 @@ struct LeaseDoneMsg {
   std::uint64_t lease_id = 0;
 };
 
+/// Read-only fleet introspection (`drivefi_campaign status`). Accepted as a
+/// connection's FIRST message -- no hello, no manifest hash -- because it
+/// grants nothing and stores nothing; the coordinator answers with one
+/// status_reply and hangs up.
+struct StatusRequestMsg {};
+
 // ---- coordinator -> worker ----------------------------------------------
 
 struct WelcomeMsg {
@@ -113,6 +119,21 @@ struct LeaseAckMsg {
   bool accepted = true;
 };
 
+/// The coordinator's answer to a StatusRequestMsg: campaign totals plus two
+/// nested-as-escaped-string payloads (the flat-JSONL idiom RecordMsg uses).
+/// `worker_table` holds one flat JSON object per hello'd worker, joined
+/// with '\n'; `metrics` holds the full metrics snapshot JSON object
+/// (obs::MetricsRegistry::snapshot_jsonl). docs/FORMATS.md is normative.
+struct StatusReplyMsg {
+  std::uint64_t protocol = kProtocolVersion;
+  std::size_t planned_runs = 0;
+  std::size_t completed_runs = 0;  ///< durably stored in the master store
+  double elapsed_seconds = 0.0;    ///< of the current serve() sitting
+  std::size_t workers = 0;         ///< distinct workers hello'd this sitting
+  std::string worker_table;
+  std::string metrics;
+};
+
 struct ErrorMsg {
   std::string message;
 };
@@ -126,6 +147,8 @@ std::string encode(const LeaseRequestMsg& m);
 std::string encode(const HeartbeatMsg& m);
 std::string encode(const RecordMsg& m);
 std::string encode(const LeaseDoneMsg& m);
+std::string encode(const StatusRequestMsg& m);
+std::string encode(const StatusReplyMsg& m);
 std::string encode(const WelcomeMsg& m);
 std::string encode(const LeaseMsg& m);
 std::string encode(const WaitMsg& m);
@@ -138,6 +161,7 @@ HelloMsg parse_hello(const std::string& line);
 HeartbeatMsg parse_heartbeat(const std::string& line);
 RecordMsg parse_record(const std::string& line);
 LeaseDoneMsg parse_lease_done(const std::string& line);
+StatusReplyMsg parse_status_reply(const std::string& line);
 WelcomeMsg parse_welcome(const std::string& line);
 LeaseMsg parse_lease(const std::string& line);
 WaitMsg parse_wait(const std::string& line);

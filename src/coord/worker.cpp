@@ -12,6 +12,7 @@
 #include "core/fault_model.h"
 #include "core/result_store.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace drivefi::coord {
 
@@ -55,6 +56,7 @@ class StreamingSink : public core::ResultSink {
     msg.lease_id = lease_id_;
     msg.record_jsonl = core::run_record_jsonl(record);
     conn_.send_line(encode(msg));
+    obs::metrics().counter("worker.records_streamed").add();
     ++done_;
     ++*total_sent_;
     if (abort_after_ > 0 && *total_sent_ >= abort_after_)
@@ -66,6 +68,7 @@ class StreamingSink : public core::ResultSink {
       hb.lease_id = lease_id_;
       hb.done = done_;
       conn_.send_line(encode(hb));
+      obs::metrics().counter("worker.heartbeats_sent").add();
       last_heartbeat_ = now;
     }
     drain_incoming();
@@ -184,6 +187,7 @@ WorkerStats WorkerClient::run() {
                               {&sink});
     } catch (const LeaseRevoked&) {
       ++stats.leases_revoked;
+      obs::metrics().counter("worker.leases_revoked").add();
       continue;  // records already streamed were stored or safely dropped
     } catch (const CampaignComplete&) {
       break;
@@ -209,7 +213,10 @@ WorkerStats WorkerClient::run() {
         throw std::runtime_error("worker: lease_done ack timed out");
       const std::string ack_type = message_type(line);
       if (ack_type == "lease_ack") {
-        if (parse_lease_ack(line).accepted) ++stats.leases_completed;
+        if (parse_lease_ack(line).accepted) {
+          ++stats.leases_completed;
+          obs::metrics().counter("worker.leases_completed").add();
+        }
         acked = true;
       } else if (ack_type == "complete") {
         acked = true;  // campaign finished while we reported; fine

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -17,6 +18,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace drivefi::core {
 
@@ -47,14 +50,36 @@ class ParallelExecutor {
   void run_ordered(std::size_t n,
                    const std::function<Result(std::size_t)>& produce,
                    const std::function<void(Result&&)>& consume) const {
+    // Observability only: wall-time histograms for how long finished
+    // results sit in the reorder buffer and how long the consumer holds
+    // the emit lock. Never feeds back into execution or results.
+    obs::Histogram& queue_wait =
+        obs::metrics().histogram("executor.queue_wait_seconds");
+    obs::Histogram& consume_time =
+        obs::metrics().histogram("executor.consume_seconds");
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(threads_, n == 0 ? 1 : n));
     if (workers <= 1) {
-      for (std::size_t i = 0; i < n; ++i) consume(produce(i));
+      // Serial path: results never queue, so only consume time is observed.
+      for (std::size_t i = 0; i < n; ++i) {
+        Result result = produce(i);
+        const auto consume_start = std::chrono::steady_clock::now();
+        consume(std::move(result));
+        consume_time.observe(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 consume_start)
+                                 .count());
+      }
       return;
     }
 
-    std::vector<std::optional<Result>> pending(n);
+    // A completed result plus the instant it became ready, so emission can
+    // attribute reorder-buffer wait separately from consume time.
+    struct Timed {
+      Result result;
+      std::chrono::steady_clock::time_point ready;
+    };
+    std::vector<std::optional<Timed>> pending(n);
     std::atomic<std::size_t> next_claim{0};
     std::atomic<bool> cancelled{false};
     std::mutex emit_mutex;
@@ -76,20 +101,29 @@ class ParallelExecutor {
         }
         std::lock_guard<std::mutex> lock(emit_mutex);
         if (cancelled.load()) return;
-        pending[i] = std::move(result);
+        pending[i] = Timed{std::move(*result),
+                           std::chrono::steady_clock::now()};
         // Each ready result is taken out of the buffer BEFORE consume so a
         // throwing sink can never re-deliver a moved-from record.
         while (next_emit < n && pending[next_emit].has_value()) {
-          Result ready = std::move(*pending[next_emit]);
+          Timed ready = std::move(*pending[next_emit]);
           pending[next_emit].reset();
           ++next_emit;
+          const auto consume_start = std::chrono::steady_clock::now();
+          queue_wait.observe(
+              std::chrono::duration<double>(consume_start - ready.ready)
+                  .count());
           try {
-            consume(std::move(ready));
+            consume(std::move(ready.result));
           } catch (...) {
             if (!first_error) first_error = std::current_exception();
             cancelled.store(true);
             return;
           }
+          consume_time.observe(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   consume_start)
+                                   .count());
         }
       }
     };

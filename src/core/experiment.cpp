@@ -8,6 +8,8 @@
 
 #include "core/fault_model.h"
 #include "core/result_store.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace drivefi::core {
 
@@ -210,6 +212,7 @@ RunResult Experiment::run_replay(const sim::Scenario& scenario,
                                  const GoldenTrace& golden,
                                  ads::AdsPipeline& pipeline,
                                  const ads::PipelineSnapshot* fork_from) const {
+  DFI_SPAN("replay");
   const bool fork = forking_enabled() && golden.checkpoint_stride > 0;
   const auto start = std::chrono::steady_clock::now();
 
@@ -261,14 +264,31 @@ RunResult Experiment::run_replay(const sim::Scenario& scenario,
                    pipeline.any_module_hung(), classifier_config_);
   t_scene_scratch = pipeline.release_scenes();
 
+  const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  // Function-local statics: one registry lookup ever, then lock-free
+  // relaxed-atomic updates on the per-run hot path.
+  static obs::Histogram& run_wall_hist =
+      obs::metrics().histogram("experiment.run_wall_seconds");
+  static obs::Counter& forked_metric =
+      obs::metrics().counter("experiment.replays_forked");
+  static obs::Counter& full_metric =
+      obs::metrics().counter("experiment.replays_full");
+  static obs::Counter& spliced_metric =
+      obs::metrics().counter("experiment.replays_spliced");
+  run_wall_hist.observe(static_cast<double>(nanos) * 1e-9);
   if (fork) {
-    const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+    forked_metric.add();
     forked_runs_.fetch_add(1, std::memory_order_relaxed);
     forked_wall_nanos_.fetch_add(static_cast<std::uint64_t>(nanos),
                                  std::memory_order_relaxed);
-    if (spliced) spliced_runs_.fetch_add(1, std::memory_order_relaxed);
+    if (spliced) {
+      spliced_metric.add();
+      spliced_runs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    full_metric.add();
   }
   return result;
 }

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/jsonl.h"
+#include "obs/metrics.h"
+#include "util/number_format.h"
+
 namespace drivefi::core {
 
 namespace {
@@ -49,6 +53,13 @@ void ProgressSink::consume(const InjectionRecord&) {
   ++seen_;
   const double elapsed = steady_seconds() - started_;
   meter_.update(seen_, elapsed);
+  // Publish the same numbers the status line paints, so a concurrent
+  // MetricsSnapshotSink (or the telemetry summary) can never disagree with
+  // what the operator saw on screen.
+  obs::metrics().gauge("campaign.planned_runs").set(
+      static_cast<double>(meter_.planned()));
+  obs::metrics().gauge("campaign.completed_runs").set(
+      static_cast<double>(meter_.completed()));
   if (last_paint_ < 0.0 || elapsed - last_paint_ >= min_interval_ ||
       seen_ == meter_.planned())
     repaint(elapsed);
@@ -67,6 +78,37 @@ void ProgressSink::finish(const CampaignStats&) {
   meter_.update(seen_, elapsed);
   repaint(elapsed);
   out_ << '\n' << std::flush;
+}
+
+MetricsSnapshotSink::MetricsSnapshotSink(std::ostream& out,
+                                         double interval_seconds)
+    : out_(out), interval_(interval_seconds) {}
+
+void MetricsSnapshotSink::begin(const CampaignMeta&) {
+  seq_ = 0;
+  started_ = steady_seconds();
+  last_write_ = -1.0;
+}
+
+void MetricsSnapshotSink::consume(const InjectionRecord&) {
+  const double elapsed = steady_seconds() - started_;
+  if (last_write_ >= 0.0 && elapsed - last_write_ < interval_) return;
+  write_snapshot(elapsed);
+}
+
+void MetricsSnapshotSink::finish(const CampaignStats&) {
+  write_snapshot(steady_seconds() - started_);
+  out_.flush();
+}
+
+void MetricsSnapshotSink::write_snapshot(double elapsed) {
+  out_ << "{\"type\":\"metrics\",\"seq\":" << seq_ << ",\"elapsed_seconds\":"
+       << util::shortest_double(elapsed);
+  for (const auto& [key, value] : obs::metrics().snapshot_fields())
+    out_ << ",\"" << json_escape(key) << "\":" << value;
+  out_ << "}\n";
+  ++seq_;
+  last_write_ = elapsed;
 }
 
 }  // namespace drivefi::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <ostream>
 #include <string>
 
@@ -79,6 +80,35 @@ class ProgressSink : public ResultSink {
   std::size_t seen_ = 0;
   double started_ = 0.0;      ///< steady-clock origin, seconds
   double last_paint_ = -1.0;  ///< elapsed seconds at the last repaint
+};
+
+/// A ResultSink that periodically writes the process-wide metrics snapshot
+/// (obs::MetricsRegistry) as one JSONL line -- `drivefi_campaign run
+/// --metrics-out`. Each line is {"type":"metrics","seq":N,
+/// "elapsed_seconds":S, <sorted metric fields>}; one more line is always
+/// written at finish so the file ends with the campaign's final state.
+/// Purely observational: it never reads or alters records, and the
+/// determinism suite holds campaign output byte-identical with or without
+/// it attached (docs/FORMATS.md "Metrics snapshot" is normative).
+class MetricsSnapshotSink : public ResultSink {
+ public:
+  explicit MetricsSnapshotSink(std::ostream& out,
+                               double interval_seconds = 1.0);
+
+  void begin(const CampaignMeta& meta) override;
+  void consume(const InjectionRecord& record) override;
+  void finish(const CampaignStats& stats) override;
+
+  std::uint64_t snapshots_written() const { return seq_; }
+
+ private:
+  void write_snapshot(double elapsed);
+
+  std::ostream& out_;
+  double interval_;
+  std::uint64_t seq_ = 0;
+  double started_ = 0.0;
+  double last_write_ = -1.0;
 };
 
 }  // namespace drivefi::core

@@ -7,6 +7,8 @@
 
 #include "core/jsonl.h"
 #include "core/result_sink.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace drivefi::core {
 
@@ -148,7 +150,10 @@ ShardResultStore::ShardResultStore(std::string path,
                std::to_string(record.run_index));
       }
       // Drop the torn trailing line, if any, before reopening for append.
-      if (valid_end < text.size()) fs::resize_file(path_, valid_end);
+      if (valid_end < text.size()) {
+        obs::metrics().counter("store.torn_truncations").add();
+        fs::resize_file(path_, valid_end);
+      }
     }
   }
 
@@ -164,14 +169,23 @@ ShardResultStore::ShardResultStore(std::string path,
 }
 
 void ShardResultStore::append(const InjectionRecord& record) {
+  DFI_SPAN("store.append");
   check_membership(record, manifest_, path_);
   if (contains(record.run_index))
     fail(path_ + ": run_index " + std::to_string(record.run_index) +
          " already stored");
+  const auto start = std::chrono::steady_clock::now();
   out_ << run_record_jsonl(record) << '\n';
   out_.flush();
   if (!out_) fail("write failed on " + path_ + " (disk full or closed?)");
   completed_.insert(record.run_index);
+  static obs::Counter& appends_metric = obs::metrics().counter("store.appends");
+  static obs::Histogram& append_hist =
+      obs::metrics().histogram("store.append_seconds");
+  appends_metric.add();
+  append_hist.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 ShardContent read_shard(const std::string& path) {

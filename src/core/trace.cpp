@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace drivefi::core {
 
 const ads::PipelineSnapshot* GoldenTrace::checkpoint_before_time(
@@ -43,6 +46,8 @@ GoldenTrace run_golden(const sim::Scenario& scenario,
                        const ads::PipelineConfig& config,
                        std::size_t scenario_index,
                        std::size_t checkpoint_stride) {
+  DFI_SPAN("golden");
+  obs::metrics().counter("experiment.golden_runs").add();
   const auto start = std::chrono::steady_clock::now();
 
   sim::World world(scenario.world);

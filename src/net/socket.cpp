@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
+
 namespace drivefi::net {
 
 namespace {
@@ -159,9 +161,25 @@ std::optional<TcpSocket> TcpListener::accept(double timeout_seconds) {
   return TcpSocket(client);
 }
 
+void MessageConnection::send_line(std::string_view line) {
+  const std::string frame = encode_frame(line);
+  socket_.send_all(frame);
+  // Counted after the successful send so a SocketError leaves the counters
+  // describing only bytes that actually reached the kernel.
+  static obs::Counter& frames_out = obs::metrics().counter("net.frames_out");
+  static obs::Counter& bytes_out = obs::metrics().counter("net.bytes_out");
+  frames_out.add();
+  bytes_out.add(frame.size());
+}
+
 RecvStatus MessageConnection::recv_line(std::string* line,
                                         double timeout_seconds) {
-  if (decoder_.next(line)) return RecvStatus::kMessage;
+  static obs::Counter& frames_in = obs::metrics().counter("net.frames_in");
+  static obs::Counter& bytes_in = obs::metrics().counter("net.bytes_in");
+  if (decoder_.next(line)) {
+    frames_in.add();
+    return RecvStatus::kMessage;
+  }
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -182,8 +200,12 @@ RecvStatus MessageConnection::recv_line(std::string* line,
                                      remaining > 0.0 ? remaining : 0.0);
     if (!n.has_value()) return RecvStatus::kTimeout;
     if (*n == 0) return RecvStatus::kClosed;
+    bytes_in.add(*n);
     decoder_.feed(std::string_view(buffer, *n));
-    if (decoder_.next(line)) return RecvStatus::kMessage;
+    if (decoder_.next(line)) {
+      frames_in.add();
+      return RecvStatus::kMessage;
+    }
     if (timeout_seconds <= 0.0 && *n < sizeof(buffer))
       return RecvStatus::kTimeout;
     if (timeout_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline)

@@ -97,9 +97,7 @@ class MessageConnection {
   explicit MessageConnection(TcpSocket socket) : socket_(std::move(socket)) {}
 
   /// Sends one message payload as a frame.
-  void send_line(std::string_view line) {
-    socket_.send_all(encode_frame(line));
-  }
+  void send_line(std::string_view line);
 
   /// Receives the next message within `timeout_seconds`. Buffered frames
   /// are returned without touching the socket, so a deadline of 0 drains

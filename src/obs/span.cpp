@@ -1,0 +1,113 @@
+#include "obs/span.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+namespace drivefi::obs {
+
+namespace {
+
+std::uint64_t steady_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The one process-wide session. `active` is the span fast-path flag; the
+/// mutex serializes event emission and start/stop transitions.
+struct TraceSession {
+  std::atomic<bool> active{false};
+  std::mutex mutex;
+  std::ofstream out;
+  std::uint64_t start_nanos = 0;
+  std::uint64_t events = 0;
+};
+
+TraceSession& session() {
+  static TraceSession s;
+  return s;
+}
+
+/// Small per-thread tid in first-span order (chrome://tracing draws one row
+/// per tid; real thread ids are unreadable 64-bit values).
+int thread_tid() {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+void start_tracing(const std::string& path) {
+  TraceSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.active.load(std::memory_order_relaxed))
+    throw std::runtime_error("obs: a trace session is already active");
+  s.out.open(path, std::ios::binary | std::ios::trunc);
+  if (!s.out)
+    throw std::runtime_error("obs: cannot open trace file " + path);
+  s.out << "{\"traceEvents\":[";
+  s.start_nanos = steady_nanos();
+  s.events = 0;
+  s.active.store(true, std::memory_order_release);
+}
+
+void stop_tracing() {
+  TraceSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  s.active.store(false, std::memory_order_release);
+  s.out << "\n]}\n";
+  s.out.flush();
+  s.out.close();
+}
+
+bool tracing_enabled() {
+  return session().active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_events_written() {
+  TraceSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!tracing_enabled()) return;  // the near-zero disabled path
+  name_ = name;
+  start_nanos_ = steady_nanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const std::uint64_t end_nanos = steady_nanos();
+  TraceSession& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  // The session may have stopped while this span was open; its file is
+  // closed, so the event is dropped rather than torn.
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  const double ts =
+      static_cast<double>(start_nanos_ - s.start_nanos) / 1000.0;
+  const double dur = static_cast<double>(end_nanos - start_nanos_) / 1000.0;
+  char event[256];
+  const int len = std::snprintf(
+      event, sizeof(event),
+      "%s\n{\"name\":\"%s\",\"cat\":\"drivefi\",\"ph\":\"X\","
+      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+      s.events == 0 ? "" : ",", name_, ts, dur,
+      static_cast<int>(::getpid()), thread_tid());
+  // A name long enough to truncate the event would tear the JSON; drop the
+  // event instead (span names are short literals, so this never fires).
+  if (len <= 0 || static_cast<std::size_t>(len) >= sizeof(event)) return;
+  s.out << event;
+  ++s.events;
+}
+
+}  // namespace drivefi::obs

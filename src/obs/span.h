@@ -1,0 +1,61 @@
+/// \file
+/// Lightweight scoped timing spans that emit Chrome trace-event JSON
+/// (loadable in Perfetto / chrome://tracing), behind one process-wide trace
+/// session toggled by `--trace-out`. When no session is active a span costs
+/// one relaxed atomic load and a predictable branch -- no clock reads, no
+/// allocation -- so instrumentation can stay in release hot paths.
+///
+/// Same inertness contract as obs/metrics.h: spans observe wall time only
+/// and never touch campaign results; tests/determinism_test.cpp holds
+/// campaigns byte-identical with tracing on vs off.
+///
+/// Output format (docs/FORMATS.md "Trace-event output" is normative): a
+/// JSON object {"traceEvents":[...]} whose events are complete ("ph":"X")
+/// entries -- name, category "drivefi", microsecond ts/dur relative to
+/// session start, pid, and a small per-thread tid assigned in first-span
+/// order. One event per line so the file stays diffable and line-parseable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drivefi::obs {
+
+/// Starts the process-wide trace session, truncating `path`. Throws
+/// std::runtime_error if a session is already active or the file cannot be
+/// opened. Spans entered before start (or after stop) are simply dropped.
+void start_tracing(const std::string& path);
+
+/// Ends the session: writes the closing bracket, flushes, and closes the
+/// file. No-op when no session is active. Spans still in flight when the
+/// session stops are dropped (their scope outlived the session).
+void stop_tracing();
+
+/// True while a trace session is active (relaxed read; the span fast path).
+bool tracing_enabled();
+
+/// Number of events written by the CURRENT session so far (tests).
+std::uint64_t trace_events_written();
+
+/// RAII span: records a complete trace event for its scope when (and only
+/// when) a session was active at construction. `name` must outlive the
+/// span; pass string literals.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = tracing was off at entry
+  std::uint64_t start_nanos_ = 0;
+};
+
+}  // namespace drivefi::obs
+
+// Drop-in scope instrumentation: DFI_SPAN("replay"); at the top of a block.
+#define DFI_SPAN_CONCAT_INNER(a, b) a##b
+#define DFI_SPAN_CONCAT(a, b) DFI_SPAN_CONCAT_INNER(a, b)
+#define DFI_SPAN(name) \
+  ::drivefi::obs::ScopedSpan DFI_SPAN_CONCAT(dfi_span_, __LINE__) { name }

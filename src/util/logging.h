@@ -1,6 +1,10 @@
-// Minimal leveled logger. Not thread-safe by design: the runtime scheduler
-// is single-threaded and deterministic (see src/runtime), so logging order
-// is part of the reproducible trace.
+// Minimal leveled logger. Emission is thread-safe: log_message is called
+// from ParallelExecutor worker threads and the coordinator loop as well as
+// the runtime scheduler, so a mutex serializes each line (no torn or
+// interleaved output). Ordering remains the caller's property: the runtime
+// scheduler is single-threaded and deterministic (see src/runtime), so ITS
+// log order is still part of the reproducible trace; concurrent callers
+// get whole lines in whatever order they reach the lock.
 #pragma once
 
 #include <sstream>

@@ -15,14 +15,19 @@
 #include <vector>
 
 #include "coord/coordinator.h"
+#include "coord/protocol.h"
 #include "coord/worker.h"
 #include "core/bayes_model.h"
 #include "core/experiment.h"
 #include "core/fault_model.h"
 #include "core/jsonl.h"
 #include "core/manifest.h"
+#include "core/progress.h"
+#include "core/result_sink.h"
 #include "core/result_store.h"
 #include "core/selector.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace drivefi::core {
@@ -446,6 +451,58 @@ TEST(Determinism, FleetRefusesAMismatchedWorker) {
   coordinator_thread.join();
   EXPECT_EQ(stats.runs_executed, model.run_count());
   EXPECT_EQ(master.completed().size(), model.run_count());
+}
+
+TEST(Determinism, ObservabilityIsInert) {
+  // The telemetry contract: tracing and metrics are pure observation. A
+  // campaign run with a live trace session, a metrics snapshot sink, and a
+  // freshly reset registry must be byte-identical -- fingerprint, scrubbed
+  // JSONL, and manifest compatibility hash -- to the same campaign with
+  // observability off.
+  namespace fs = std::filesystem;
+  const Experiment experiment = make_experiment(4);
+  const RandomValueModel model(10, 2024);
+
+  const auto capture = [&](std::vector<ResultSink*> extra_sinks) {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    std::vector<ResultSink*> sinks = {&sink};
+    for (ResultSink* extra : extra_sinks) sinks.push_back(extra);
+    const CampaignStats stats = experiment.run(model, sinks);
+    return std::pair<std::string, std::string>(
+        fingerprint(stats), scrub_wall_seconds(out.str()));
+  };
+
+  const auto plain = capture({});
+  const std::uint64_t plain_hash =
+      coord::manifest_compat_hash(make_manifest(experiment, model, "test"));
+
+  const std::string trace_path =
+      (fs::path(::testing::TempDir()) / "drivefi_inert_trace.json").string();
+  std::ostringstream metrics_out;
+  MetricsSnapshotSink metrics_sink(metrics_out, /*interval_seconds=*/0.0);
+  obs::metrics().reset();
+  obs::start_tracing(trace_path);
+  const auto instrumented = capture({&metrics_sink});
+  const std::uint64_t events = obs::trace_events_written();
+  obs::stop_tracing();
+
+  EXPECT_EQ(plain.first, instrumented.first)
+      << "campaign fingerprint changed under observability";
+  EXPECT_EQ(plain.second, instrumented.second)
+      << "canonical JSONL changed under observability";
+  EXPECT_EQ(plain_hash, coord::manifest_compat_hash(
+                            make_manifest(experiment, model, "test")));
+
+  // ... and the observability actually observed: the replay spans hit the
+  // trace file and every record produced a metrics snapshot.
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(metrics_sink.snapshots_written(), model.run_count() + 1);
+  std::ifstream trace(trace_path, std::ios::binary);
+  std::string trace_text((std::istreambuf_iterator<char>(trace)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"replay\""), std::string::npos);
 }
 
 TEST(Determinism, ThreadCountDoesNotLeakIntoSpecs) {
