@@ -37,6 +37,8 @@ struct CampaignArgs {
   unsigned threads = 0;
   bool fork_replays = true;
   std::size_t checkpoint_stride = 4;
+  bool replay_tree = true;
+  std::size_t max_live_snapshots = 0;
 };
 
 inline const char* kCampaignFlagHelp =
@@ -53,7 +55,12 @@ inline const char* kCampaignFlagHelp =
     "  --pipeline-seed S    sensor-noise seed (default 7)\n"
     "  --threads N          worker threads (0 = all hardware)\n"
     "  --fork / --no-fork   fork-from-golden replay (default: on)\n"
-    "  --checkpoint-stride N  scenes between golden checkpoints (default 4)\n";
+    "  --checkpoint-stride N  scenes between golden checkpoints (default 4)\n"
+    "  --replay-tree / --no-replay-tree\n"
+    "                       shared-prefix replay tree (default: on; cost-only,\n"
+    "                       results identical either way)\n"
+    "  --max-live-snapshots N  cap on in-memory trunk snapshots (0 = uncapped;\n"
+    "                       over-budget tails fall back to golden checkpoints)\n";
 
 /// Consumes one campaign flag; returns false when `arg` is not a campaign
 /// flag (the caller handles its own). `next` yields the flag's value.
@@ -73,6 +80,9 @@ inline bool parse_campaign_flag(CampaignArgs& a, const std::string& arg,
   else if (arg == "--fork") a.fork_replays = true;
   else if (arg == "--no-fork") a.fork_replays = false;
   else if (arg == "--checkpoint-stride") a.checkpoint_stride = static_cast<std::size_t>(std::atoll(next()));
+  else if (arg == "--replay-tree") a.replay_tree = true;
+  else if (arg == "--no-replay-tree") a.replay_tree = false;
+  else if (arg == "--max-live-snapshots") a.max_live_snapshots = static_cast<std::size_t>(std::atoll(next()));
   else return false;
   return true;
 }
@@ -107,6 +117,8 @@ inline CampaignSetup build_campaign(const CampaignArgs& a, bool quiet) {
   options.executor.threads = a.threads;
   options.fork_replays = a.fork_replays;
   options.checkpoint_stride = a.checkpoint_stride;
+  options.replay_tree = a.replay_tree;
+  options.max_live_snapshots = a.max_live_snapshots;
 
   if (!quiet)
     std::printf("running %zu golden scenarios (%s)...\n", suite.size(),

@@ -387,6 +387,22 @@ void AdsPipeline::run_until(double seconds) {
   while (scheduler_.tick() < end_tick) step();
 }
 
+std::size_t PipelineSnapshot::approx_size_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += scheduler.enabled.capacity() * sizeof(std::uint8_t);
+  bytes += world.vehicles.capacity() * sizeof(world.vehicles[0]);
+  if (detections.latest)
+    bytes += detections.latest->detections.capacity() *
+             sizeof(detections.latest->detections[0]);
+  if (world_model.latest)
+    bytes += world_model.latest->objects.capacity() *
+             sizeof(world_model.latest->objects[0]);
+  bytes += tracker.tracks.capacity() * sizeof(tracker.tracks[0]);
+  for (const std::string& name : hung_modules)
+    bytes += sizeof(std::string) + name.capacity();
+  return bytes;
+}
+
 PipelineSnapshot AdsPipeline::snapshot() const {
   PipelineSnapshot snap;
   snap.scene_index = scenes_.empty() ? 0 : scenes_.size() - 1;

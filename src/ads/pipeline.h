@@ -151,6 +151,10 @@ struct PipelineSnapshot {
   std::set<std::string> hung_modules;
   double last_primary_control_time = -1.0;
 
+  /// Approximate resident size (struct plus heap-allocated containers);
+  /// used by memory accounting in the replay-tree bench and obs counters.
+  std::size_t approx_size_bytes() const;
+
   bool operator==(const PipelineSnapshot&) const = default;
 };
 

@@ -6,6 +6,14 @@
 /// from (campaign_seed, run_index) and the consumer sees index order, a
 /// campaign's output is bit-identical regardless of thread count or
 /// completion order.
+///
+/// The reorder buffer is an OrderedEmitter: producers deposit completed
+/// results into their own pre-allocated slot without taking any lock (an
+/// atomic ready flag publishes the slot), and exactly one thread at a time
+/// drains the contiguously-ready head to the consumer. Earlier versions
+/// serialized every deposit through the emit mutex, so under real
+/// multicore load producers convoyed behind whichever thread happened to
+/// be inside the consumer; now only drain ownership is contended.
 #pragma once
 
 #include <atomic>
@@ -13,6 +21,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -32,6 +41,116 @@ struct ExecutorConfig {
 /// threads; never less than 1).
 unsigned resolve_thread_count(unsigned requested);
 
+/// In-order delivery of out-of-order completions. `n` slots are allocated
+/// up front; each position is deposited exactly once (from any thread) and
+/// the consumer sees positions 0,1,2,... with no gaps. Deposits are
+/// lock-free: the slot write is published by a seq_cst ready flag, and
+/// drain ownership is a seq_cst exchange, so whenever a depositor fails to
+/// become the drainer, the current drainer is guaranteed to observe the
+/// new slot on its post-release recheck (no lost wakeups). The consumer
+/// runs single-threaded (mutual exclusion via drain ownership), so it may
+/// touch unsynchronized state -- same contract as run_ordered always had.
+template <typename Result>
+class OrderedEmitter {
+ public:
+  OrderedEmitter(std::size_t n, std::function<void(Result&&)> consume)
+      : n_(n),
+        consume_(std::move(consume)),
+        slots_(n),
+        ready_(std::make_unique<std::atomic<unsigned char>[]>(n)),
+        queue_wait_(obs::metrics().histogram("executor.queue_wait_seconds")),
+        consume_time_(obs::metrics().histogram("executor.consume_seconds")) {
+    for (std::size_t i = 0; i < n_; ++i)
+      ready_[i].store(0, std::memory_order_relaxed);
+  }
+
+  /// Deposits the result for output position `pos` and drains whatever is
+  /// contiguously ready. A consumer exception is captured (first one wins),
+  /// cancels emission, and is rethrown by finish().
+  void deposit(std::size_t pos, Result&& result) {
+    slots_[pos] = Timed{std::move(result), std::chrono::steady_clock::now()};
+    ready_[pos].store(1);  // seq_cst: publishes the slot (see drain())
+    drain();
+  }
+
+  /// Records a producer-side error: first error wins, emission cancels.
+  void fail(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = error;
+    }
+    cancelled_.store(true);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// After all producers finished: rethrows the first captured error.
+  void finish() {
+    if (cancelled_.load()) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (first_error_) std::rethrow_exception(first_error_);
+    }
+  }
+
+ private:
+  struct Timed {
+    Result result;
+    std::chrono::steady_clock::time_point ready;
+  };
+
+  bool head_ready() const {
+    const std::size_t head = next_emit_.load();
+    return head < n_ && ready_[head].load() != 0;
+  }
+
+  void drain() {
+    // Ownership handoff: whoever exchanges draining_ false->true emits the
+    // ready head. Everything here is seq_cst, which closes the classic
+    // lost-wakeup race: if a depositor's exchange fails, the owner's
+    // release of draining_ precedes that exchange in the total order, so
+    // the owner's post-release head_ready() recheck (the loop condition)
+    // is ordered after the depositor's ready-flag store and must see it.
+    while (!cancelled_.load(std::memory_order_relaxed) && head_ready()) {
+      if (draining_.exchange(true)) return;  // owner rechecks after release
+      while (!cancelled_.load(std::memory_order_relaxed) && head_ready()) {
+        const std::size_t head = next_emit_.load();
+        // The slot is taken out of the buffer BEFORE consume so a throwing
+        // sink can never re-deliver a moved-from record.
+        Timed ready = std::move(*slots_[head]);
+        slots_[head].reset();
+        next_emit_.store(head + 1);
+        const auto consume_start = std::chrono::steady_clock::now();
+        queue_wait_.observe(
+            std::chrono::duration<double>(consume_start - ready.ready)
+                .count());
+        try {
+          consume_(std::move(ready.result));
+        } catch (...) {
+          fail(std::current_exception());
+          break;
+        }
+        consume_time_.observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  consume_start)
+                                  .count());
+      }
+      draining_.store(false);
+    }
+  }
+
+  std::size_t n_;
+  std::function<void(Result&&)> consume_;
+  std::vector<std::optional<Timed>> slots_;
+  std::unique_ptr<std::atomic<unsigned char>[]> ready_;
+  std::atomic<std::size_t> next_emit_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> cancelled_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& consume_time_;
+};
+
 class ParallelExecutor {
  public:
   explicit ParallelExecutor(ExecutorConfig config = {})
@@ -41,26 +160,21 @@ class ParallelExecutor {
 
   /// Runs produce(i) for every i in [0, n) across the pool, in arbitrary
   /// order, and calls consume(result) exactly once per run in strictly
-  /// increasing i order. consume always executes under an internal lock, so
-  /// it may touch unsynchronized state (stats, streams); produce runs
-  /// concurrently and must be re-entrant. The first exception thrown by
-  /// produce or consume cancels outstanding work and emission, and is
-  /// rethrown on the calling thread.
+  /// increasing i order. consume always executes single-threaded (drain
+  /// ownership in the OrderedEmitter), so it may touch unsynchronized
+  /// state (stats, streams); produce runs concurrently and must be
+  /// re-entrant. The first exception thrown by produce or consume cancels
+  /// outstanding work and emission, and is rethrown on the calling thread.
   template <typename Result>
   void run_ordered(std::size_t n,
                    const std::function<Result(std::size_t)>& produce,
                    const std::function<void(Result&&)>& consume) const {
-    // Observability only: wall-time histograms for how long finished
-    // results sit in the reorder buffer and how long the consumer holds
-    // the emit lock. Never feeds back into execution or results.
-    obs::Histogram& queue_wait =
-        obs::metrics().histogram("executor.queue_wait_seconds");
-    obs::Histogram& consume_time =
-        obs::metrics().histogram("executor.consume_seconds");
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(threads_, n == 0 ? 1 : n));
     if (workers <= 1) {
       // Serial path: results never queue, so only consume time is observed.
+      obs::Histogram& consume_time =
+          obs::metrics().histogram("executor.consume_seconds");
       for (std::size_t i = 0; i < n; ++i) {
         Result result = produce(i);
         const auto consume_start = std::chrono::steady_clock::now();
@@ -73,57 +187,17 @@ class ParallelExecutor {
       return;
     }
 
-    // A completed result plus the instant it became ready, so emission can
-    // attribute reorder-buffer wait separately from consume time.
-    struct Timed {
-      Result result;
-      std::chrono::steady_clock::time_point ready;
-    };
-    std::vector<std::optional<Timed>> pending(n);
+    OrderedEmitter<Result> emitter(n, consume);
     std::atomic<std::size_t> next_claim{0};
-    std::atomic<bool> cancelled{false};
-    std::mutex emit_mutex;
-    std::size_t next_emit = 0;
-    std::exception_ptr first_error;
-
     auto worker = [&] {
       for (;;) {
         const std::size_t i = next_claim.fetch_add(1);
-        if (i >= n || cancelled.load()) return;
-        std::optional<Result> result;
+        if (i >= n || emitter.cancelled()) return;
         try {
-          result = produce(i);
+          emitter.deposit(i, produce(i));
         } catch (...) {
-          std::lock_guard<std::mutex> lock(emit_mutex);
-          if (!first_error) first_error = std::current_exception();
-          cancelled.store(true);
+          emitter.fail(std::current_exception());
           return;
-        }
-        std::lock_guard<std::mutex> lock(emit_mutex);
-        if (cancelled.load()) return;
-        pending[i] = Timed{std::move(*result),
-                           std::chrono::steady_clock::now()};
-        // Each ready result is taken out of the buffer BEFORE consume so a
-        // throwing sink can never re-deliver a moved-from record.
-        while (next_emit < n && pending[next_emit].has_value()) {
-          Timed ready = std::move(*pending[next_emit]);
-          pending[next_emit].reset();
-          ++next_emit;
-          const auto consume_start = std::chrono::steady_clock::now();
-          queue_wait.observe(
-              std::chrono::duration<double>(consume_start - ready.ready)
-                  .count());
-          try {
-            consume(std::move(ready.result));
-          } catch (...) {
-            if (!first_error) first_error = std::current_exception();
-            cancelled.store(true);
-            return;
-          }
-          consume_time.observe(std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() -
-                                   consume_start)
-                                   .count());
         }
       }
     };
@@ -132,7 +206,7 @@ class ParallelExecutor {
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    emitter.finish();
   }
 
  private:

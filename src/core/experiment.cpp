@@ -4,9 +4,12 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
 #include "core/fault_model.h"
+#include "core/replay_plan.h"
+#include "core/replay_tree.h"
 #include "core/result_store.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -84,13 +87,23 @@ CampaignStats Experiment::run(const FaultModel& model,
 
   CampaignStats stats;
   stats.records.reserve(n);
-  const ParallelExecutor executor(options_.executor);
-  executor.run_ordered<InjectionRecord>(
-      n, [&](std::size_t i) { return execute(model.spec(i, *this)); },
+  const std::function<void(InjectionRecord&&)> consume =
       [&](InjectionRecord&& record) {
         stats.add(record);
         for (ResultSink* sink : sinks) sink->consume(record);
-      });
+      };
+  if (tree_enabled() && n > 1) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const ReplayTreeExecutor tree(
+        *this, {options_.executor, options_.max_live_snapshots});
+    tree.run(build_replay_plan(model, all, *this), consume);
+  } else {
+    const ParallelExecutor executor(options_.executor);
+    executor.run_ordered<InjectionRecord>(
+        n, [&](std::size_t i) { return execute(model.spec(i, *this)); },
+        consume);
+  }
 
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -152,10 +165,7 @@ CampaignStats Experiment::run_indices(
 
   CampaignStats stats;
   stats.records.reserve(ordered.size());
-  const ParallelExecutor executor(options_.executor);
-  executor.run_ordered<InjectionRecord>(
-      ordered.size(),
-      [&](std::size_t i) { return execute(model.spec(ordered[i], *this)); },
+  const std::function<void(InjectionRecord&&)> consume =
       [&](InjectionRecord&& record) {
         // A re-granted lease can overlap records an earlier sitting of the
         // same store already holds; re-execution is deterministic, so the
@@ -164,7 +174,20 @@ CampaignStats Experiment::run_indices(
           store->append(record);
         stats.add(record);
         for (ResultSink* sink : sinks) sink->consume(record);
-      });
+      };
+  if (tree_enabled() && ordered.size() > 1) {
+    // A fleet lease becomes a subtree: the plan covers exactly the leased
+    // indices, and order_pos recovers ascending run-index delivery.
+    const ReplayTreeExecutor tree(
+        *this, {options_.executor, options_.max_live_snapshots});
+    tree.run(build_replay_plan(model, ordered, *this), consume);
+  } else {
+    const ParallelExecutor executor(options_.executor);
+    executor.run_ordered<InjectionRecord>(
+        ordered.size(),
+        [&](std::size_t i) { return execute(model.spec(ordered[i], *this)); },
+        consume);
+  }
 
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -173,13 +196,16 @@ CampaignStats Experiment::run_indices(
   return stats;
 }
 
-InjectionRecord Experiment::execute(const RunSpec& spec) const {
+InjectionRecord Experiment::execute(const RunSpec& spec,
+                                    const ads::PipelineSnapshot* fork_override,
+                                    const SpliceCandidates* extra_splice) const {
   InjectionRecord record;
   record.run_index = spec.run_index;
   record.description = spec.description;
 
   if (spec.kind == RunSpec::Kind::kValue) {
-    const RunResult result = replay_value_fault(spec.fault, spec.hold_seconds);
+    const RunResult result = replay_value_fault(spec.fault, spec.hold_seconds,
+                                                fork_override, extra_splice);
     if (record.description.empty()) {
       std::ostringstream desc;
       desc << scenarios_.at(spec.fault.scenario_index).name
@@ -199,7 +225,8 @@ InjectionRecord Experiment::execute(const RunSpec& spec) const {
 
   const RunResult result =
       replay_bit_fault(spec.scenario_index, spec.target, spec.bits,
-                       spec.instruction_index, spec.fault_seed);
+                       spec.instruction_index, spec.fault_seed, fork_override,
+                       extra_splice);
   record.scenario_index = spec.scenario_index;
   record.scene_index = result.hazard_scene_index;
   record.outcome = result.outcome;
@@ -211,7 +238,8 @@ InjectionRecord Experiment::execute(const RunSpec& spec) const {
 RunResult Experiment::run_replay(const sim::Scenario& scenario,
                                  const GoldenTrace& golden,
                                  ads::AdsPipeline& pipeline,
-                                 const ads::PipelineSnapshot* fork_from) const {
+                                 const ads::PipelineSnapshot* fork_from,
+                                 const SpliceCandidates* extra_splice) const {
   DFI_SPAN("replay");
   const bool fork = forking_enabled() && golden.checkpoint_stride > 0;
   const auto start = std::chrono::steady_clock::now();
@@ -242,16 +270,30 @@ RunResult Experiment::run_replay(const sim::Scenario& scenario,
       continue;
 
     // A scene frame just closed. If the fault window is over and the
-    // faulty state is bit-equal to the golden checkpoint at this scene,
-    // every remaining tick would replay the golden run -- splice its tail
-    // instead of simulating it (this also decides kMasked exactly and
-    // early: a spliced run can never diverge later).
+    // faulty state is bit-equal to a golden state at this scene -- the
+    // stride-aligned checkpoint, or a trunk divergence snapshot when the
+    // replay tree supplies them -- every remaining tick would replay the
+    // golden run: splice its tail instead of simulating it (this also
+    // decides kMasked exactly and early: a spliced run can never diverge
+    // later). Which candidate detected the match only moves the splice
+    // scene, and a match at any scene implies a match at every later one,
+    // so densifying candidates changes cost, never records.
     const std::size_t scene = pipeline.scenes().size() - 1;
-    if (scene % golden.checkpoint_stride != 0) continue;
-    const std::size_t k = scene / golden.checkpoint_stride;
-    if (k >= golden.checkpoints.size()) continue;
+    const ads::PipelineSnapshot* candidate = nullptr;
+    if (extra_splice != nullptr) {
+      const auto it = std::lower_bound(
+          extra_splice->begin(), extra_splice->end(), scene,
+          [](const auto& entry, std::size_t s) { return entry.first < s; });
+      if (it != extra_splice->end() && it->first == scene)
+        candidate = it->second;
+    }
+    if (candidate == nullptr && scene % golden.checkpoint_stride == 0) {
+      const std::size_t k = scene / golden.checkpoint_stride;
+      if (k < golden.checkpoints.size()) candidate = &golden.checkpoints[k];
+    }
+    if (candidate == nullptr) continue;
     if (!pipeline.faults_quiescent()) continue;
-    if (!pipeline.state_matches(golden.checkpoints[k])) continue;
+    if (!pipeline.state_matches(*candidate)) continue;
     pipeline.splice_golden_tail(golden.scenes, scene + 1);
     spliced = true;
     break;
@@ -293,8 +335,67 @@ RunResult Experiment::run_replay(const sim::Scenario& scenario,
   return result;
 }
 
-RunResult Experiment::replay_value_fault(const CandidateFault& fault,
-                                         double hold_seconds) const {
+std::vector<ads::PipelineSnapshot> Experiment::materialize_trunk(
+    std::size_t scenario_index, const std::vector<std::size_t>& scenes) const {
+  DFI_SPAN("trunk");
+  const sim::Scenario& scenario = scenarios_.at(scenario_index);
+  const GoldenTrace& golden = goldens_.at(scenario_index);
+
+  static obs::Counter& trunk_scenes_metric =
+      obs::metrics().counter("replay_tree.trunk_scenes_simulated");
+  static obs::Counter& trunk_restores_metric =
+      obs::metrics().counter("replay_tree.trunk_checkpoint_restores");
+  static obs::Counter& snapshots_metric =
+      obs::metrics().counter("replay_tree.snapshots_taken");
+
+  // A fault-free pipeline whose states are bit-exactly the golden run's:
+  // restore + re-step reproduces the original simulation (the same
+  // property the golden-tail splice rests on), so every snapshot captured
+  // here is interchangeable with a golden checkpoint at that scene.
+  sim::World world(scenario.world);
+  ads::AdsPipeline pipeline(world, pipeline_config_);
+  pipeline.adopt_scene_log(std::move(t_scene_scratch));
+  pipeline.reserve_scenes(golden.scenes.size());
+
+  std::vector<ads::PipelineSnapshot> out;
+  out.reserve(scenes.size());
+  bool started = false;
+  for (const std::size_t target : scenes) {
+    assert(target < golden.scene_end_times.size() &&
+           "trunk target scene beyond the golden run");
+    // Deepest golden checkpoint at-or-before the target; restoring it
+    // skips the gap since the previous target when the gap spans it.
+    const ads::PipelineSnapshot* jump = nullptr;
+    for (const auto& ck : golden.checkpoints) {
+      if (ck.scene_index > target) break;
+      jump = &ck;
+    }
+    const bool ahead =
+        jump != nullptr &&
+        (!started || jump->scene_index >= pipeline.scenes().size());
+    if (ahead) {
+      pipeline.restore(*jump);
+      pipeline.preload_scene_prefix(golden.scenes, jump->scene_index + 1);
+      if (started) trunk_restores_metric.add();
+      started = true;
+    }
+    while (pipeline.scenes().size() <= target) {
+      const std::size_t before = pipeline.scenes().size();
+      pipeline.step();
+      if (pipeline.scenes().size() != before) trunk_scenes_metric.add();
+    }
+    started = true;
+    out.push_back(pipeline.snapshot());
+    snapshots_metric.add();
+  }
+  t_scene_scratch = pipeline.release_scenes();
+  return out;
+}
+
+RunResult Experiment::replay_value_fault(
+    const CandidateFault& fault, double hold_seconds,
+    const ads::PipelineSnapshot* fork_override,
+    const SpliceCandidates* extra_splice) const {
   const sim::Scenario& scenario = scenarios_.at(fault.scenario_index);
   const GoldenTrace& golden = goldens_.at(fault.scenario_index);
 
@@ -309,14 +410,19 @@ RunResult Experiment::replay_value_fault(const CandidateFault& fault,
   pipeline.arm_value_fault(vf);
 
   return run_replay(scenario, golden, pipeline,
-                    golden.checkpoint_before_time(fault.inject_time));
+                    fork_override != nullptr
+                        ? fork_override
+                        : golden.checkpoint_before_time(fault.inject_time),
+                    extra_splice);
 }
 
 RunResult Experiment::replay_bit_fault(std::size_t scenario_index,
                                        const std::string& target,
                                        unsigned bits,
                                        std::uint64_t instruction_index,
-                                       std::uint64_t fault_seed) const {
+                                       std::uint64_t fault_seed,
+                                       const ads::PipelineSnapshot* fork_override,
+                                       const SpliceCandidates* extra_splice) const {
   const sim::Scenario& scenario = scenarios_.at(scenario_index);
   const GoldenTrace& golden = goldens_.at(scenario_index);
 
@@ -337,7 +443,10 @@ RunResult Experiment::replay_bit_fault(std::size_t scenario_index,
   pipeline.arm_bit_fault(bf);
 
   return run_replay(scenario, golden, pipeline,
-                    golden.checkpoint_before_instruction(instruction_index));
+                    fork_override != nullptr
+                        ? fork_override
+                        : golden.checkpoint_before_instruction(instruction_index),
+                    extra_splice);
 }
 
 }  // namespace drivefi::core

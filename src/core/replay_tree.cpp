@@ -1,0 +1,296 @@
+#include "core/replay_tree.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "obs/metrics.h"
+
+namespace drivefi::core {
+
+namespace {
+
+// Global live-snapshot budget shared by every in-flight group. Admission
+// control only affects WHICH snapshots exist, i.e. where tails fork and
+// where reconvergence is detected -- cost, never content -- so a relaxed
+// best-effort counter is safe.
+class SnapshotBudget {
+ public:
+  explicit SnapshotBudget(std::size_t cap)
+      : uncapped_(cap == 0), available_(static_cast<long long>(cap)) {}
+
+  bool try_acquire() {
+    if (uncapped_) return true;
+    if (available_.fetch_sub(1, std::memory_order_relaxed) > 0) return true;
+    available_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void release(std::size_t count) {
+    if (!uncapped_)
+      available_.fetch_add(static_cast<long long>(count),
+                           std::memory_order_relaxed);
+  }
+
+ private:
+  bool uncapped_;
+  std::atomic<long long> available_;
+};
+
+// One group's materialized trunk, shared by its tail tasks. Snapshots stay
+// resident until the group's last tail completes: tails splice against ANY
+// of the group's snapshots, so early per-snapshot eviction would race with
+// a sibling's splice scan.
+struct GroupRuntime {
+  const ReplayGroup* group = nullptr;
+  SnapshotBudget* budget = nullptr;
+  std::vector<std::size_t> granted_scenes;       // sorted ascending
+  std::vector<ads::PipelineSnapshot> snapshots;  // parallel to granted_scenes
+  SpliceCandidates candidates;
+  std::atomic<std::size_t> remaining{0};
+
+  const ads::PipelineSnapshot* fork_for(std::size_t scene) const {
+    const auto it = std::lower_bound(granted_scenes.begin(),
+                                     granted_scenes.end(), scene);
+    if (it == granted_scenes.end() || *it != scene) return nullptr;
+    return &snapshots[static_cast<std::size_t>(it - granted_scenes.begin())];
+  }
+
+  void node_done() {
+    if (remaining.fetch_sub(1) == 1) {
+      budget->release(granted_scenes.size());
+      snapshots.clear();
+      snapshots.shrink_to_fit();
+      candidates.clear();
+    }
+  }
+};
+
+// Admission + trunk walk for one group. Budget over-demand drops the
+// SHALLOWEST divergence scenes first: a deep snapshot saves the most
+// re-simulation for its tails, and a dropped shallow tail falls back to a
+// nearby golden checkpoint anyway.
+void prepare_group(const Experiment& experiment, GroupRuntime& rt) {
+  static obs::Counter& groups_metric =
+      obs::metrics().counter("replay_tree.groups");
+  static obs::Counter& evictions_metric =
+      obs::metrics().counter("replay_tree.snapshot_evictions");
+  static obs::Histogram& depth_hist =
+      obs::metrics().histogram("replay_tree.group_depth");
+  groups_metric.add();
+  depth_hist.observe(static_cast<double>(rt.group->capture_scenes.size()));
+
+  rt.granted_scenes.reserve(rt.group->capture_scenes.size());
+  for (auto it = rt.group->capture_scenes.rbegin();
+       it != rt.group->capture_scenes.rend(); ++it) {
+    if (rt.budget->try_acquire())
+      rt.granted_scenes.push_back(*it);
+    else
+      evictions_metric.add();
+  }
+  std::sort(rt.granted_scenes.begin(), rt.granted_scenes.end());
+
+  if (!rt.granted_scenes.empty()) {
+    rt.snapshots =
+        experiment.materialize_trunk(rt.group->scenario_index,
+                                     rt.granted_scenes);
+    rt.candidates.reserve(rt.snapshots.size());
+    for (std::size_t k = 0; k < rt.snapshots.size(); ++k)
+      rt.candidates.emplace_back(rt.granted_scenes[k], &rt.snapshots[k]);
+  }
+}
+
+InjectionRecord execute_node(const Experiment& experiment,
+                             const GroupRuntime& rt, const ReplayNode& node) {
+  static obs::Counter& fallback_metric =
+      obs::metrics().counter("replay_tree.fallback_tails");
+  static obs::Counter& reuse_metric =
+      obs::metrics().counter("replay_tree.prefix_scenes_reused");
+
+  const ads::PipelineSnapshot* fork = nullptr;
+  if (node.fork_scene != GoldenTrace::kNoScene) {
+    fork = rt.fork_for(node.fork_scene);
+    if (fork == nullptr) {
+      // Divergence snapshot dropped at admission: PR 4 path.
+      fallback_metric.add();
+    } else {
+      // How many prefix scenes the trunk saved this tail over the
+      // stride-aligned checkpoint it would otherwise restore.
+      const GoldenTrace& golden =
+          experiment.goldens().at(rt.group->scenario_index);
+      const ads::PipelineSnapshot* aligned =
+          node.spec.kind == RunSpec::Kind::kValue
+              ? golden.checkpoint_before_time(node.spec.fault.inject_time)
+              : golden.checkpoint_before_instruction(
+                    node.spec.instruction_index);
+      reuse_metric.add(aligned != nullptr
+                           ? node.fork_scene - aligned->scene_index
+                           : node.fork_scene + 1);
+    }
+  }
+  return experiment.execute(node.spec, fork,
+                            rt.candidates.empty() ? nullptr : &rt.candidates);
+}
+
+// Dynamic work queue for the tree: group (trunk) tasks seed the back, each
+// materialized group pushes its tails at the FRONT (depth-first -- drain a
+// group's tails, freeing its snapshots, before starting another trunk).
+// Idle workers block on a condition variable; blocked time feeds the
+// executor.idle_wait_seconds histogram so queue starvation is visible in
+// --metrics-out.
+class TaskQueue {
+ public:
+  TaskQueue()
+      : idle_wait_(obs::metrics().histogram("executor.idle_wait_seconds")) {}
+
+  void push_back(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push_back(std::move(task));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+
+  void push_front(std::vector<std::function<void()>> tasks) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = tasks.rbegin(); it != tasks.rend(); ++it)
+        tasks_.push_front(std::move(*it));
+      outstanding_ += tasks.size();
+    }
+    cv_.notify_all();
+  }
+
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+      outstanding_ -= tasks_.size();
+      tasks_.clear();
+    }
+    cv_.notify_all();
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (!cancelled_ && tasks_.empty() && outstanding_ > 0) {
+        // Running tasks may still spawn tails; wait for work or drain-out.
+        const auto idle_start = std::chrono::steady_clock::now();
+        cv_.wait(lock, [&] {
+          return cancelled_ || !tasks_.empty() || outstanding_ == 0;
+        });
+        idle_wait_.observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - idle_start)
+                               .count());
+      }
+      if (cancelled_ || (tasks_.empty() && outstanding_ == 0)) return;
+      if (tasks_.empty()) continue;
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();  // tasks capture their own exceptions
+      lock.lock();
+      --outstanding_;
+      if (outstanding_ == 0 && tasks_.empty()) cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t outstanding_ = 0;
+  bool cancelled_ = false;
+  obs::Histogram& idle_wait_;
+};
+
+}  // namespace
+
+void ReplayTreeExecutor::run(
+    const ReplayPlan& plan,
+    const std::function<void(InjectionRecord&&)>& consume) const {
+  if (plan.total_nodes == 0) return;
+  OrderedEmitter<InjectionRecord> emitter(plan.total_nodes, consume);
+  SnapshotBudget budget(options_.max_live_snapshots);
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_thread_count(options_.executor.threads), plan.total_nodes));
+
+  if (workers <= 1) {
+    // Serial path: groups in plan order, nodes in group order; the emitter
+    // still reorders deposits into ascending order_pos delivery.
+    for (const ReplayGroup& group : plan.groups) {
+      if (emitter.cancelled()) break;
+      GroupRuntime rt;
+      rt.group = &group;
+      rt.budget = &budget;
+      rt.remaining.store(group.nodes.size(), std::memory_order_relaxed);
+      try {
+        prepare_group(experiment_, rt);
+        for (const ReplayNode& node : group.nodes) {
+          if (emitter.cancelled()) break;
+          emitter.deposit(node.order_pos, execute_node(experiment_, rt, node));
+          rt.node_done();
+        }
+      } catch (...) {
+        emitter.fail(std::current_exception());
+      }
+    }
+    emitter.finish();
+    return;
+  }
+
+  TaskQueue queue;
+  for (const ReplayGroup& group : plan.groups) {
+    auto rt = std::make_shared<GroupRuntime>();
+    rt->group = &group;
+    rt->budget = &budget;
+    rt->remaining.store(group.nodes.size(), std::memory_order_relaxed);
+    queue.push_back([this, rt, &emitter, &queue] {
+      if (emitter.cancelled()) return;
+      try {
+        prepare_group(experiment_, *rt);
+      } catch (...) {
+        emitter.fail(std::current_exception());
+        queue.cancel();
+        return;
+      }
+      std::vector<std::function<void()>> tails;
+      tails.reserve(rt->group->nodes.size());
+      for (const ReplayNode& node : rt->group->nodes) {
+        tails.push_back([this, rt, &emitter, &queue, &node] {
+          if (!emitter.cancelled()) {
+            try {
+              emitter.deposit(node.order_pos,
+                              execute_node(experiment_, *rt, node));
+            } catch (...) {
+              emitter.fail(std::current_exception());
+              queue.cancel();
+            }
+          }
+          rt->node_done();
+        });
+      }
+      queue.push_front(std::move(tails));
+    });
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    pool.emplace_back([&queue] { queue.worker_loop(); });
+  for (auto& t : pool) t.join();
+  emitter.finish();
+}
+
+}  // namespace drivefi::core

@@ -216,6 +216,50 @@ TEST(Determinism, ForkedJsonlByteEqualToFullJsonl) {
   }
 }
 
+TEST(Determinism, ReplayTreeBitIdenticalToFlatForkPath) {
+  // The replay-tree contract: trunk materialization, fork-at-divergence,
+  // densified splice candidates, and subtree scheduling change COST only.
+  // Fingerprints AND canonical JSONL must be byte-equal with the tree on
+  // or off, at every stride and thread count, over a multi-scenario suite
+  // (several groups, so trunks and tails genuinely interleave).
+  const auto all = sim::base_suite();
+  const std::vector<sim::Scenario> suite(all.begin(), all.begin() + 3);
+  const RandomValueModel values(18, 2024);
+  const BitFlipModel bitflips(12, 99, /*bits=*/2);
+
+  const auto campaign = [&](bool tree, unsigned threads, std::size_t stride,
+                            const FaultModel& model) {
+    ExperimentOptions options;
+    options.executor.threads = threads;
+    options.checkpoint_stride = stride;
+    options.replay_tree = tree;
+    const Experiment experiment(suite, test_pipeline_config(), {}, options);
+    std::ostringstream out;
+    JsonlSink sink(out);
+    std::vector<ResultSink*> sinks = {&sink};
+    const CampaignStats stats = experiment.run(model, sinks);
+    return std::pair<std::string, std::string>(
+        fingerprint(stats), scrub_wall_seconds(out.str()));
+  };
+
+  for (const FaultModel* model :
+       {static_cast<const FaultModel*>(&values),
+        static_cast<const FaultModel*>(&bitflips)}) {
+    const auto base = campaign(false, 1, 4, *model);
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{4}}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        const auto tree = campaign(true, threads, stride, *model);
+        EXPECT_EQ(base.first, tree.first)
+            << "stats diverged with the tree at stride " << stride << ", "
+            << threads << " threads";
+        EXPECT_EQ(base.second, tree.second)
+            << "JSONL diverged with the tree at stride " << stride << ", "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
 // Runs the model through `shard_count` durable stores under `dir`,
 // returning the shard file paths (every shard executed in this process --
 // multi-machine fan-out is the same loop with different hostnames).
