@@ -25,12 +25,20 @@
 //   drivefi_campaign worker --connect HOST:PORT [campaign options]
 //     --store FILE         local scratch store (default <name>.local.jsonl)
 //     --name NAME          worker display name (default worker-<pid>)
+//     --reconnect-max-attempts N  consecutive failed (re)connects before
+//                          the worker gives up (default 20)
+//     --reconnect-base-delay S    first backoff delay; doubles per failure
+//                          up to --reconnect-max-delay (defaults 0.1 / 2)
 //     Joins a drivefi_campaignd fleet: the campaign options MUST match the
 //     daemon's (the manifest hash in the hello is checked), the worker
 //     pulls leases of run indices, executes them locally, and streams each
 //     record back as it completes. Run as many workers as you have cores
 //     or machines; kill any of them freely -- their leases are re-granted
-//     and the merged campaign is byte-identical regardless.
+//     and the merged campaign is byte-identical regardless. Transport loss
+//     (including a coordinator kill -9) is transient: the worker spools to
+//     its local store, reconnects with capped exponential backoff + seeded
+//     jitter, and respools its records on re-hello (duplicates are no-ops
+//     by determinism). Only an explicit protocol refusal is fatal.
 //
 //   drivefi_campaign merge --jsonl OUT.jsonl SHARD.jsonl [SHARD.jsonl ...]
 //     Validates the shard set (same campaign, no duplicates, complete
@@ -232,6 +240,13 @@ int cmd_worker(int argc, char** argv) {
       have_connect = true;
     } else if (arg == "--store") config.store_path = next();
     else if (arg == "--name") config.name = next();
+    else if (arg == "--reconnect-max-attempts")
+      config.reconnect_max_attempts =
+          static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--reconnect-base-delay")
+      config.reconnect_base_delay = std::atof(next());
+    else if (arg == "--reconnect-max-delay")
+      config.reconnect_max_delay = std::atof(next());
     else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       return 2;
@@ -253,10 +268,12 @@ int cmd_worker(int argc, char** argv) {
   std::fprintf(stderr, "%s\n",
                obs::telemetry_jsonl(stats.wall_seconds).c_str());
   std::printf("worker done: %zu runs executed, %zu leases completed, %zu "
-              "revoked, %.2f s\n",
+              "revoked, %zu reconnects, %zu records respooled, %.2f s%s\n",
               stats.runs_executed, stats.leases_completed,
-              stats.leases_revoked, stats.wall_seconds);
-  return 0;
+              stats.leases_revoked, stats.reconnects, stats.records_respooled,
+              stats.wall_seconds,
+              stats.gave_up ? " (gave up reconnecting)" : "");
+  return stats.gave_up ? 1 : 0;
 }
 
 int cmd_status(int argc, char** argv) {

@@ -11,7 +11,14 @@
 //     --listen HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral)
 //     --port-file FILE     write the bound port (scripts + ephemeral ports)
 //     --store FILE         master store path (default campaign.master.jsonl)
-//     --resume             continue an interrupted campaign's master store
+//     --resume             continue an interrupted campaign's master store.
+//                          This is the crash-recovery path: after a kill -9
+//                          the daemon rebuilds all state from the store
+//                          (completed indices are done; in-flight leases
+//                          died with the process and are simply re-granted
+//                          -- safe because duplicates are byte-identical
+//                          no-ops), re-listens, and accepts reconnecting
+//                          workers as if nothing happened.
 //     --overwrite          discard an existing master store
 //     --lease-runs N       run indices per lease (default 16)
 //     --heartbeat-timeout S  seconds of silence before a lease is re-granted
@@ -138,11 +145,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n",
                  obs::telemetry_jsonl(fleet.wall_seconds).c_str());
     std::printf("fleet campaign complete: %zu runs stored this sitting "
-                "(%zu duplicates dropped), %zu leases granted / %zu expired "
-                "/ %zu stolen, %zu workers, %.2f s\n",
-                fleet.runs_completed, fleet.duplicates_dropped,
-                fleet.leases_granted, fleet.leases_expired,
-                fleet.leases_stolen, fleet.workers_seen, fleet.wall_seconds);
+                "(%zu resumed from the store, %zu duplicates dropped), "
+                "%zu leases granted / %zu expired / %zu stolen, %zu workers, "
+                "%.2f s\n",
+                fleet.runs_completed, fleet.resumed_runs,
+                fleet.duplicates_dropped, fleet.leases_granted,
+                fleet.leases_expired, fleet.leases_stolen, fleet.workers_seen,
+                fleet.wall_seconds);
 
     const core::MergedCampaign merged = core::merge_shards({store_path});
     core::outcome_table(merged.stats).print("campaign outcomes");

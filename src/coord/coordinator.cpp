@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,6 +27,10 @@ struct Coordinator::Connection {
   std::string worker;        // set by hello
   bool hello_done = false;
   bool defunct = false;      // drop after the current drain
+  /// Leases granted on THIS connection. A reconnecting worker keeps its
+  /// name, so an EOF must reclaim only these -- releasing by name could
+  /// yank a lease just granted on the worker's replacement connection.
+  std::set<std::uint64_t> leases;
 };
 
 Coordinator::Coordinator(const core::CampaignManifest& manifest,
@@ -128,8 +133,8 @@ FleetStats Coordinator::serve() {
         ++i;
         continue;
       }
-      if (!connections_[i]->worker.empty())
-        ledger_.release_worker(connections_[i]->worker);
+      for (const std::uint64_t lease_id : connections_[i]->leases)
+        ledger_.release_lease(lease_id, connections_[i]->worker);
       connections_.erase(connections_.begin() +
                          static_cast<std::ptrdiff_t>(i));
     }
@@ -171,6 +176,7 @@ FleetStats Coordinator::serve() {
   stats_.leases_expired = ledger_.leases_expired();
   stats_.leases_stolen = ledger_.leases_stolen();
   stats_.workers_seen = worker_threads_.size();
+  stats_.resumed_runs = completed_at_start_;
   stats_.wall_seconds = now_seconds() - started_;
   return stats_;
 }
@@ -233,6 +239,7 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
       return;
     }
     if (auto lease = ledger_.grant(conn.worker, now_seconds())) {
+      conn.leases.insert(lease->id);
       LeaseMsg msg;
       msg.lease_id = lease->id;
       msg.run_indices = lease->run_indices;
@@ -295,6 +302,7 @@ void Coordinator::handle_message(Connection& conn, const std::string& line) {
     ack.lease_id = done.lease_id;
     ack.accepted =
         ledger_.lease_done(done.lease_id, conn.worker) == DoneVerdict::kAccepted;
+    conn.leases.erase(done.lease_id);
     conn.msg.send_line(encode(ack));
     return;
   }
@@ -321,6 +329,8 @@ void Coordinator::update_fleet_gauges(double) {
       .set(static_cast<double>(ledger_.leases_expired()));
   registry.gauge("fleet.leases_stolen")
       .set(static_cast<double>(ledger_.leases_stolen()));
+  registry.gauge("fleet.resumed_runs")
+      .set(static_cast<double>(completed_at_start_));
 }
 
 void Coordinator::maybe_write_metrics(double now, bool force) {

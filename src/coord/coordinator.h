@@ -58,6 +58,7 @@ struct FleetStats {
   std::size_t leases_expired = 0;     ///< heartbeat timeouts + dead sockets
   std::size_t leases_stolen = 0;      ///< split off a straggler for an idle worker
   std::size_t workers_seen = 0;
+  std::size_t resumed_runs = 0;       ///< already durable when serve() began
   double wall_seconds = 0.0;
 };
 

@@ -151,4 +151,14 @@ std::size_t LeaseLedger::release_worker(const std::string& worker) {
   return released.size();
 }
 
+bool LeaseLedger::release_lease(std::uint64_t lease_id,
+                                const std::string& worker) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end() || it->second.worker != worker) return false;
+  requeue_front({it->second});
+  active_.erase(it);
+  ++leases_expired_;
+  return true;
+}
+
 }  // namespace drivefi::coord

@@ -85,6 +85,14 @@ class LeaseLedger {
   /// leases were reclaimed.
   std::size_t release_worker(const std::string& worker);
 
+  /// Returns ONE lease to pending, only if `worker` still owns it. The
+  /// per-connection variant of release_worker: when a worker reconnects
+  /// under the same name, the old connection's EOF must reclaim only the
+  /// leases granted on it, never a lease just granted on the new
+  /// connection. Stale/foreign ids are a no-op; returns whether a lease
+  /// was reclaimed.
+  bool release_lease(std::uint64_t lease_id, const std::string& worker);
+
   // -- introspection -------------------------------------------------------
   std::size_t pending_count() const { return pending_.size(); }
   std::size_t active_lease_count() const { return active_.size(); }

@@ -107,12 +107,22 @@ TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port,
 
 void TcpSocket::send_all(std::string_view bytes) {
   if (fd_ < 0) throw SocketError("send on a closed socket");
+  // Loops until every byte is handed to the kernel: a short write (full
+  // socket buffer, e.g. a tiny SO_SNDBUF or a slow reader) resumes at the
+  // unsent tail, EINTR retries, and EAGAIN/EWOULDBLOCK waits for POLLOUT
+  // (the fd is normally blocking, but decorators and spurious wakeups may
+  // surface it). Regression-tested in tests/net_test.cpp with a small
+  // SO_SNDBUF loopback socket.
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        poll_one(fd_, POLLOUT, /*timeout_seconds=*/1.0);
+        continue;
+      }
       fail_errno("send failed");
     }
     sent += static_cast<std::size_t>(n);
@@ -122,13 +132,38 @@ void TcpSocket::send_all(std::string_view bytes) {
 std::optional<std::size_t> TcpSocket::recv_some(char* buffer, std::size_t len,
                                                 double timeout_seconds) {
   if (fd_ < 0) throw SocketError("recv on a closed socket");
-  if (poll_one(fd_, POLLIN, timeout_seconds) == 0) return std::nullopt;
-  ssize_t n;
-  do {
-    n = ::recv(fd_, buffer, len, 0);
-  } while (n < 0 && errno == EINTR);
-  if (n < 0) fail_errno("recv failed");
-  return static_cast<std::size_t>(n);
+  // poll can wake spuriously (or another thread can race the data away),
+  // making a blocking-looking recv return EAGAIN; re-enter the poll with
+  // the remaining deadline instead of failing the connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds > 0.0 ? timeout_seconds
+                                                              : 0.0));
+  for (;;) {
+    const double remaining =
+        timeout_seconds <= 0.0
+            ? 0.0
+            : std::chrono::duration<double>(deadline -
+                                            std::chrono::steady_clock::now())
+                  .count();
+    if (poll_one(fd_, POLLIN, remaining > 0.0 ? remaining : 0.0) == 0)
+      return std::nullopt;
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buffer, len, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (timeout_seconds <= 0.0 ||
+            std::chrono::steady_clock::now() >= deadline)
+          return std::nullopt;
+        continue;
+      }
+      fail_errno("recv failed");
+    }
+    return static_cast<std::size_t>(n);
+  }
 }
 
 TcpListener::TcpListener(const std::string& host, std::uint16_t port) {

@@ -82,27 +82,42 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Result of MessageConnection::recv_line.
+/// Result of Connection::recv_line.
 enum class RecvStatus {
   kMessage,  ///< *line holds one complete message payload
   kTimeout,  ///< deadline passed; connection still healthy
   kClosed,   ///< peer closed the stream cleanly
 };
 
-/// One framed-message stream: a TcpSocket plus a FrameDecoder. send_line /
-/// recv_line move whole protocol messages (single JSONL lines); framing
-/// corruption surfaces as FrameError, transport death as SocketError.
-class MessageConnection {
+/// One framed-message stream, abstract so fault-injecting decorators
+/// (net::FaultyConnection) can stand in for the real transport in tests.
+/// send_line / recv_line move whole protocol messages (single JSONL
+/// lines); framing corruption surfaces as FrameError, transport death as
+/// SocketError.
+class Connection {
  public:
-  explicit MessageConnection(TcpSocket socket) : socket_(std::move(socket)) {}
+  virtual ~Connection() = default;
 
   /// Sends one message payload as a frame.
-  void send_line(std::string_view line);
+  virtual void send_line(std::string_view line) = 0;
 
   /// Receives the next message within `timeout_seconds`. Buffered frames
   /// are returned without touching the socket, so a deadline of 0 drains
   /// exactly what has already arrived.
-  RecvStatus recv_line(std::string* line, double timeout_seconds);
+  virtual RecvStatus recv_line(std::string* line, double timeout_seconds) = 0;
+
+  /// Closes the underlying transport early (idempotent).
+  virtual void close() = 0;
+};
+
+/// The real transport: a TcpSocket plus a FrameDecoder.
+class MessageConnection : public Connection {
+ public:
+  explicit MessageConnection(TcpSocket socket) : socket_(std::move(socket)) {}
+
+  void send_line(std::string_view line) override;
+  RecvStatus recv_line(std::string* line, double timeout_seconds) override;
+  void close() override { socket_.close(); }
 
   TcpSocket& socket() { return socket_; }
 

@@ -162,6 +162,41 @@ TEST(LeaseLedger, ReleaseWorkerReclaimsAllItsLeases) {
   EXPECT_EQ(next->run_indices, (std::vector<std::size_t>{0, 1}));
 }
 
+TEST(LeaseLedger, ReleaseLeaseReclaimsOnlyThatLease) {
+  // The reconnect-safe EOF path: a worker that reconnects keeps its name,
+  // so a dead connection must surrender only the leases granted on it --
+  // release_worker would also yank the lease just granted on the worker's
+  // replacement connection.
+  LeaseLedger ledger(iota_indices(8), 2, 5.0);
+  const auto old_conn = ledger.grant("w1", 0.0);
+  const auto new_conn = ledger.grant("w1", 0.1);  // same worker, reconnected
+  ASSERT_TRUE(old_conn && new_conn);
+
+  EXPECT_TRUE(ledger.release_lease(old_conn->id, "w1"));
+  EXPECT_EQ(ledger.active_lease_count(), 1u);
+  EXPECT_EQ(ledger.pending_count(), 6u);  // 2 reclaimed + 4 never granted
+  // The new connection's lease is untouched and still heartbeats.
+  EXPECT_TRUE(ledger.heartbeat(new_conn->id, "w1", 0, 0.5));
+
+  // Reclaimed indices re-grant first.
+  const auto regrant = ledger.grant("w2", 1.0);
+  ASSERT_TRUE(regrant);
+  EXPECT_EQ(regrant->run_indices, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LeaseLedger, ReleaseLeaseIgnoresStaleAndForeignIds) {
+  LeaseLedger ledger(iota_indices(4), 2, 5.0);
+  const auto lease = ledger.grant("w1", 0.0);
+  ASSERT_TRUE(lease);
+  EXPECT_FALSE(ledger.release_lease(lease->id + 99, "w1"));  // unknown id
+  EXPECT_FALSE(ledger.release_lease(lease->id, "w2"));       // wrong owner
+  EXPECT_EQ(ledger.active_lease_count(), 1u);
+  EXPECT_EQ(ledger.pending_count(), 2u);
+
+  EXPECT_TRUE(ledger.release_lease(lease->id, "w1"));
+  EXPECT_FALSE(ledger.release_lease(lease->id, "w1"));  // already released
+}
+
 TEST(LeaseLedger, EveryIndexIsEventuallyGrantedExactlyOnceWithoutFailures) {
   // Liveness sanity: grant-complete cycles with no deaths cover the whole
   // campaign with no index granted twice.
