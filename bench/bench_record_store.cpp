@@ -1,0 +1,254 @@
+// Measures the binary record store against the JSONL store it compacts:
+// append throughput, bytes per record, and indexed point lookup versus a
+// full JSONL scan -- then enforces the format's two contracts. Writes
+// BENCH_record_store.json and exits nonzero if
+//   - the binary store is not at least `min_size_ratio` (default 3.0)
+//     times smaller per record than JSONL,
+//   - binary append throughput falls below JSONL append throughput
+//     (best-of-5 both ways; the whole point of the format is that
+//     encoding varints is cheaper than formatting decimal doubles), or
+//   - a real campaign exported from a binary store is not byte-identical
+//     to the same campaign exported from a JSONL store.
+//
+//   ./bench_record_store [records] [out.json] [min_size_ratio]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/binary_store.h"
+#include "core/experiment.h"
+#include "core/fault_model.h"
+#include "core/jsonl.h"
+#include "core/manifest.h"
+#include "core/result_store.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+using namespace drivefi;
+namespace fs = std::filesystem;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Synthetic records with realistic field content: description lengths and
+// value ranges mirror what RandomValueModel campaigns actually produce.
+std::vector<core::InjectionRecord> synthetic_records(std::size_t count) {
+  util::Rng rng(424242);
+  std::vector<core::InjectionRecord> records;
+  records.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    core::InjectionRecord record;
+    record.run_index = r;
+    record.scenario_index = rng.uniform_index(6);
+    record.scene_index = rng.uniform_index(40);
+    record.outcome = static_cast<core::Outcome>(rng.uniform_index(4));
+    record.description = "random-value fault #" + std::to_string(r) +
+                         " scale=" + std::to_string(rng.uniform(0.5, 2.0));
+    record.min_delta_lon = rng.uniform(-5.0, 60.0);
+    record.max_actuation_divergence = rng.uniform(0.0, 4.0);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+core::CampaignManifest bench_manifest(std::size_t planned) {
+  core::CampaignManifest manifest;
+  manifest.model = "bench-synthetic";
+  manifest.model_params = "n=" + std::to_string(planned);
+  manifest.planned_runs = planned;
+  manifest.scenario_spec = "bench:record_store";
+  manifest.scenario_hash = 0x5ca1ab1eULL;
+  manifest.pipeline_seed = 11;
+  return manifest;
+}
+
+// Appends every record into a fresh store of `format`; returns wall time.
+double append_pass(const std::string& path,
+                   const core::CampaignManifest& manifest,
+                   core::StoreFormat format,
+                   const std::vector<core::InjectionRecord>& records) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto store = core::open_shard_store(path, manifest, format,
+                                            core::StoreOpenMode::kOverwrite);
+  for (const core::InjectionRecord& record : records) store->append(record);
+  return seconds_since(start);
+}
+
+double best_of(std::size_t passes, const std::function<double()>& run) {
+  double best = run();
+  for (std::size_t i = 1; i < passes; ++i) best = std::min(best, run());
+  return best;
+}
+
+std::string merged_jsonl(const std::vector<std::string>& paths) {
+  std::ostringstream out;
+  core::write_merged_jsonl(core::merge_shards(paths), out);
+  return core::scrub_wall_seconds(out.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t count = 20000;
+  std::string json_path = "BENCH_record_store.json";
+  double min_size_ratio = 3.0;
+  if (argc > 1) count = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) json_path = argv[2];
+  if (argc > 3) min_size_ratio = std::atof(argv[3]);
+
+  const fs::path dir = fs::temp_directory_path() / "drivefi_bench_store";
+  fs::create_directories(dir);
+  const std::string jsonl_path = (dir / "bench.jsonl").string();
+  const std::string binary_path = (dir / "bench.bin").string();
+
+  const core::CampaignManifest manifest = bench_manifest(count);
+  const std::vector<core::InjectionRecord> records = synthetic_records(count);
+
+  // ---- append throughput, best of 5 fresh passes each --------------------
+  const double jsonl_wall = best_of(5, [&] {
+    return append_pass(jsonl_path, manifest, core::StoreFormat::kJsonl,
+                       records);
+  });
+  const double binary_wall = best_of(5, [&] {
+    return append_pass(binary_path, manifest, core::StoreFormat::kBinary,
+                       records);
+  });
+  const double jsonl_rps = static_cast<double>(count) / jsonl_wall;
+  const double binary_rps = static_cast<double>(count) / binary_wall;
+  std::printf("append: jsonl %.3f s (%.0f rec/s), binary %.3f s (%.0f rec/s), "
+              "speedup %.2fx\n",
+              jsonl_wall, jsonl_rps, binary_wall, binary_rps,
+              jsonl_wall / binary_wall);
+
+  // ---- bytes per record: (full store - empty store) / count --------------
+  // Subtracting the empty (manifest-only, sealed) store isolates the
+  // per-record cost from the fixed manifest/framing overhead both formats
+  // share.
+  const std::string empty_jsonl = (dir / "empty.jsonl").string();
+  const std::string empty_binary = (dir / "empty.bin").string();
+  core::open_shard_store(empty_jsonl, manifest, core::StoreFormat::kJsonl,
+                         core::StoreOpenMode::kOverwrite);
+  core::open_shard_store(empty_binary, manifest, core::StoreFormat::kBinary,
+                         core::StoreOpenMode::kOverwrite);
+  const double jsonl_bytes =
+      static_cast<double>(fs::file_size(jsonl_path) -
+                          fs::file_size(empty_jsonl)) /
+      static_cast<double>(count);
+  const double binary_bytes =
+      static_cast<double>(fs::file_size(binary_path) -
+                          fs::file_size(empty_binary)) /
+      static_cast<double>(count);
+  const double size_ratio = jsonl_bytes / binary_bytes;
+  std::printf("size: jsonl %.1f B/record, binary %.1f B/record "
+              "(incl. index), ratio %.2fx (min %.1fx)\n",
+              jsonl_bytes, binary_bytes, size_ratio, min_size_ratio);
+
+  // ---- point lookup: stored index vs full JSONL scan ---------------------
+  const std::size_t lookups = std::min<std::size_t>(count, 200);
+  util::Rng pick(7);
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < lookups; ++i)
+    targets.push_back(pick.uniform_index(count));
+
+  const auto indexed_start = std::chrono::steady_clock::now();
+  core::BinaryStoreReader reader(binary_path);
+  core::InjectionRecord found;
+  std::size_t hits = 0;
+  for (const std::size_t run : targets)
+    if (reader.lookup(run, &found)) ++hits;
+  const double indexed_wall = seconds_since(indexed_start);
+
+  const auto scan_start = std::chrono::steady_clock::now();
+  std::size_t scan_hits = 0;
+  for (const std::size_t run : targets) {
+    // What answering "show me run N" costs without an index: parse the
+    // whole JSONL shard, then search it.
+    const core::ShardContent content = core::read_shard(jsonl_path);
+    for (const core::InjectionRecord& record : content.records)
+      if (record.run_index == run) {
+        ++scan_hits;
+        break;
+      }
+  }
+  const double scan_wall = seconds_since(scan_start);
+  std::printf("lookup (%zu of %zu runs): indexed %.4f s, jsonl scan %.3f s "
+              "(%.0fx); used_stored_index=%s\n",
+              lookups, count, indexed_wall, scan_wall,
+              scan_wall / indexed_wall,
+              reader.used_stored_index() ? "true" : "false");
+  const bool lookups_ok = hits == lookups && scan_hits == lookups;
+
+  // ---- export byte-identity on a real campaign ---------------------------
+  const std::vector<sim::Scenario> suite = {sim::base_suite()[1],
+                                            sim::base_suite()[2]};
+  ads::PipelineConfig config;
+  config.seed = 11;
+  const core::Experiment experiment(suite, config, {}, {});
+  const core::RandomValueModel model(48, 1234);
+  const core::CampaignManifest real =
+      core::make_manifest(experiment, model, "bench:record_store");
+  const std::string real_jsonl = (dir / "real.jsonl").string();
+  const std::string real_binary = (dir / "real.bin").string();
+  for (const auto& [path, format] :
+       {std::pair{real_jsonl, core::StoreFormat::kJsonl},
+        std::pair{real_binary, core::StoreFormat::kBinary}}) {
+    const auto store = core::open_shard_store(path, real, format,
+                                              core::StoreOpenMode::kOverwrite);
+    experiment.run_shard(model, *store);
+  }
+  const bool export_identical =
+      merged_jsonl({real_jsonl}) == merged_jsonl({real_binary});
+  std::printf("export: binary-store campaign %s the JSONL-store campaign\n",
+              export_identical ? "matches" : "DIVERGES FROM");
+
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"record_store\",\n  \"records\": " << count
+      << ",\n  \"append\": {\"jsonl_seconds\": " << jsonl_wall
+      << ", \"binary_seconds\": " << binary_wall
+      << ", \"jsonl_records_per_second\": " << jsonl_rps
+      << ", \"binary_records_per_second\": " << binary_rps << "},"
+      << "\n  \"size\": {\"jsonl_bytes_per_record\": " << jsonl_bytes
+      << ", \"binary_bytes_per_record\": " << binary_bytes
+      << ", \"ratio\": " << size_ratio << ", \"min_ratio\": "
+      << min_size_ratio << "},"
+      << "\n  \"lookup\": {\"count\": " << lookups
+      << ", \"indexed_seconds\": " << indexed_wall
+      << ", \"jsonl_scan_seconds\": " << scan_wall << "},"
+      << "\n  \"export_identical\": "
+      << (export_identical ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (size_ratio < min_size_ratio) {
+    std::printf("FAIL: binary store is only %.2fx smaller (min %.1fx)\n",
+                size_ratio, min_size_ratio);
+    return 1;
+  }
+  if (binary_wall > jsonl_wall) {
+    std::printf("FAIL: binary append (%.3f s) slower than jsonl (%.3f s)\n",
+                binary_wall, jsonl_wall);
+    return 1;
+  }
+  if (!export_identical) {
+    std::printf("FAIL: binary-store export diverged from jsonl-store export\n");
+    return 1;
+  }
+  if (!lookups_ok) {
+    std::printf("FAIL: lookups missed (%zu/%zu indexed, %zu/%zu scan)\n",
+                hits, lookups, scan_hits, lookups);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -10,7 +10,10 @@
 //     (campaign options: see campaign_cli.h -- MUST match the workers')
 //     --listen HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral)
 //     --port-file FILE     write the bound port (scripts + ephemeral ports)
-//     --store FILE         master store path (default campaign.master.jsonl)
+//     --store FILE         master store path (default campaign.master.jsonl,
+//                          or .bin with --store-format binary)
+//     --store-format F     master store container: jsonl (default) or
+//                          binary (docs/FORMATS.md "Binary record store")
 //     --resume             continue an interrupted campaign's master store.
 //                          This is the crash-recovery path: after a kill -9
 //                          the daemon rebuilds all state from the store
@@ -39,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "campaign_cli.h"
@@ -54,7 +58,8 @@ using namespace drivefi;
 int main(int argc, char** argv) {
   campaign_cli::CampaignArgs args;
   coord::CoordinatorConfig config;
-  std::string store_path = "campaign.master.jsonl";
+  std::string store_path;
+  core::StoreFormat store_format = core::StoreFormat::kJsonl;
   std::string port_file, jsonl_path, trace_out;
   bool resume = false, overwrite = false, quiet = false;
 
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       campaign_cli::parse_host_port(next(), &config.host, &config.port);
     else if (arg == "--port-file") port_file = next();
     else if (arg == "--store") store_path = next();
+    else if (arg == "--store-format")
+      store_format = core::parse_store_format(next());
     else if (arg == "--resume") resume = true;
     else if (arg == "--overwrite") overwrite = true;
     else if (arg == "--lease-runs")
@@ -94,6 +101,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.print_progress = !quiet;
+  if (store_path.empty())
+    store_path = store_format == core::StoreFormat::kBinary
+                     ? "campaign.master.bin"
+                     : "campaign.master.jsonl";
 
   try {
     if (!trace_out.empty()) obs::start_tracing(trace_out);
@@ -118,7 +129,11 @@ int main(int argc, char** argv) {
         resume ? core::StoreOpenMode::kResume
                : overwrite ? core::StoreOpenMode::kOverwrite
                            : core::StoreOpenMode::kFresh;
-    core::ShardResultStore store(store_path, manifest, mode);
+    if (resume)
+      store_format = core::detect_store_format(store_path, store_format);
+    const std::unique_ptr<core::ShardStore> store_ptr =
+        core::open_shard_store(store_path, manifest, store_format, mode);
+    core::ShardStore& store = *store_ptr;
     if (resume && !store.completed().empty() && !quiet)
       std::printf("resuming %s: %zu of %zu runs already stored\n",
                   store_path.c_str(), store.completed().size(),

@@ -34,7 +34,7 @@ struct Coordinator::Connection {
 };
 
 Coordinator::Coordinator(const core::CampaignManifest& manifest,
-                         core::ShardResultStore& store,
+                         core::ShardStore& store,
                          CoordinatorConfig config)
     : manifest_(manifest),
       store_(store),

@@ -1,6 +1,6 @@
 /// \file
 /// The fleet coordinator: one long-running process that owns the campaign
-/// (a CampaignManifest plus the authoritative merged ShardResultStore) and
+/// (a CampaignManifest plus the authoritative merged shard store) and
 /// leases run-index batches to workers over the net/ wire protocol.
 ///
 /// Design:
@@ -34,7 +34,7 @@
 #include "net/socket.h"
 
 namespace drivefi::core {
-class ShardResultStore;
+class ShardStore;
 }
 
 namespace drivefi::coord {
@@ -71,7 +71,7 @@ class Coordinator {
   /// address cannot be bound and std::invalid_argument on a store whose
   /// shard coordinates are not 0/1 or whose manifest disagrees.
   Coordinator(const core::CampaignManifest& manifest,
-              core::ShardResultStore& store, CoordinatorConfig config);
+              core::ShardStore& store, CoordinatorConfig config);
   ~Coordinator();
 
   std::uint16_t port() const { return listener_.port(); }
@@ -101,7 +101,7 @@ class Coordinator {
   double now_seconds() const;
 
   core::CampaignManifest manifest_;
-  core::ShardResultStore& store_;
+  core::ShardStore& store_;
   CoordinatorConfig config_;
   net::TcpListener listener_;
   LeaseLedger ledger_;

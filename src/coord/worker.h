@@ -25,12 +25,12 @@
 
 #include "core/campaign_stats.h"
 #include "core/manifest.h"
+#include "core/result_store.h"
 #include "net/socket.h"
 
 namespace drivefi::core {
 class Experiment;
 class FaultModel;
-class ShardResultStore;
 }  // namespace drivefi::core
 
 namespace drivefi::coord {
@@ -40,10 +40,14 @@ struct WorkerConfig {
   std::uint16_t port = 0;
   /// Stable display name; empty = "worker-<pid>".
   std::string name;
-  /// Local scratch store path; empty = "<name>.local.jsonl". Opened with
-  /// kOverwrite -- the local store is per-sitting durability, not campaign
-  /// truth, so clobbering a previous sitting's scratch is correct.
+  /// Local scratch store path; empty = "<name>.local.<format ext>".
+  /// Opened with kOverwrite -- the local store is per-sitting durability,
+  /// not campaign truth, so clobbering a previous sitting's scratch is
+  /// correct.
   std::string store_path;
+  /// On-disk format of the local scratch store. Pure provenance: the
+  /// records respooled to the coordinator are identical either way.
+  core::StoreFormat store_format = core::StoreFormat::kJsonl;
   /// Executor threads, for the hello message only (the Experiment's own
   /// ExecutorConfig governs actual parallelism); 0 = resolve from it.
   unsigned threads = 0;
@@ -115,7 +119,7 @@ class WorkerClient {
   const core::FaultModel& model_;
   WorkerConfig config_;
   core::CampaignManifest manifest_;
-  std::unique_ptr<core::ShardResultStore> store_;
+  std::unique_ptr<core::ShardStore> store_;
 };
 
 }  // namespace drivefi::coord

@@ -1,0 +1,553 @@
+#include "core/binary_store.h"
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+
+#include "core/record_codec.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/fnv.h"
+
+namespace drivefi::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("binary_store: " + what);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad()) fail("read error on " + path);
+  return content.str();
+}
+
+std::uint32_t payload_checksum(std::string_view payload) {
+  util::Fnv1a fnv;
+  fnv.add(payload);
+  return static_cast<std::uint32_t>(fnv.hash());
+}
+
+void put_u32le(std::string* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void put_u64le(std::string* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+std::uint64_t get_u64le(std::string_view data) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i]))
+             << (8 * i);
+  return value;
+}
+
+bool valid_frame_kind(char kind) {
+  return kind == kFrameManifest || kind == kFrameRecord || kind == kFrameIndex;
+}
+
+/// One complete frame: `kind | varint size | payload | u32le checksum`.
+std::string encode_frame(char kind, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  out.push_back(kind);
+  put_varint(&out, payload.size());
+  out.append(payload);
+  put_u32le(&out, payload_checksum(payload));
+  return out;
+}
+
+struct ScannedFrame {
+  char kind = 0;
+  std::uint64_t offset = 0;  ///< of the kind byte
+  std::string_view payload;
+};
+
+struct ScanResult {
+  std::string_view manifest_payload;
+  std::vector<ScannedFrame> records;
+  std::optional<std::string_view> index_payload;
+  std::uint64_t index_offset = 0;   ///< kind-byte offset of the 'I' frame
+  /// Where an append should resume: one past the last record frame (the
+  /// index footer and anything after it is rewritable derived data).
+  std::uint64_t append_offset = 0;
+  /// Bytes past append_offset that are NOT an intact index footer region
+  /// (a torn record frame, a half-written footer, garbage).
+  bool torn = false;
+};
+
+/// Walks every frame of `file` (which must already carry the magic).
+/// Contract: an INCOMPLETE trailing frame is a torn tail, not an error; a
+/// complete but invalid frame (bad kind, checksum mismatch) throws --
+/// EXCEPT inside the index-footer region ('I' kind byte onward), which is
+/// derived data a writer will regenerate, so corruption there degrades to
+/// a torn tail too. Record payloads are NOT decoded here.
+ScanResult scan_frames(std::string_view file, const std::string& path) {
+  ScanResult scan;
+  std::size_t pos = kBinaryStoreMagic.size();
+  bool saw_manifest = false;
+
+  while (pos < file.size()) {
+    const std::size_t frame_start = pos;
+    const char kind = file[pos];
+    const bool footer = kind == kFrameIndex;
+    // A truncated or corrupt frame: everything durable ends at frame_start.
+    const auto torn_at_start = [&]() {
+      scan.append_offset = frame_start;
+      scan.torn = !footer;  // dropping only the footer region is routine
+      return scan;
+    };
+    if (!valid_frame_kind(kind))
+      fail(path + ": invalid frame kind byte " +
+           std::to_string(static_cast<unsigned char>(kind)) + " at offset " +
+           std::to_string(frame_start));
+    ++pos;
+
+    std::uint64_t payload_size = 0;
+    if (!get_varint(file, &pos, &payload_size)) return torn_at_start();
+    if (payload_size > file.size() - pos) return torn_at_start();
+    const std::string_view payload = file.substr(pos, payload_size);
+    pos += payload_size;
+    if (file.size() - pos < 4) return torn_at_start();
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i)
+      stored |= static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(file[pos + i]))
+                << (8 * i);
+    pos += 4;
+    if (stored != payload_checksum(payload)) {
+      if (footer) return torn_at_start();
+      fail(path + ": frame checksum mismatch at offset " +
+           std::to_string(frame_start));
+    }
+
+    if (kind == kFrameManifest) {
+      if (saw_manifest)
+        fail(path + ": duplicate manifest frame at offset " +
+             std::to_string(frame_start));
+      if (!scan.records.empty())
+        fail(path + ": manifest frame after records at offset " +
+             std::to_string(frame_start));
+      scan.manifest_payload = payload;
+      saw_manifest = true;
+    } else if (kind == kFrameRecord) {
+      if (!saw_manifest)
+        fail(path + ": record frame before the manifest frame");
+      scan.records.push_back({kind, frame_start, payload});
+    } else {  // kFrameIndex: last meaningful frame; trailer follows.
+      scan.index_payload = payload;
+      scan.index_offset = frame_start;
+      scan.append_offset = frame_start;
+      // Everything after the footer is its 16-byte trailer; anything else
+      // is torn debris that truncation will discard along with the footer.
+      scan.torn = false;
+      return scan;
+    }
+    scan.append_offset = pos;
+  }
+  return scan;
+}
+
+void append_varint_list(std::string* out, const std::vector<std::size_t>& runs) {
+  put_varint(out, runs.size());
+  std::size_t prev = 0;
+  for (const std::size_t run : runs) {
+    put_varint(out, run - prev);
+    prev = run;
+  }
+}
+
+std::vector<std::size_t> read_varint_list(std::string_view payload,
+                                          std::size_t* pos) {
+  std::uint64_t count = 0;
+  if (!get_varint(payload, pos, &count)) fail("truncated index list count");
+  if (count > payload.size())  // each entry needs >= 1 byte
+    fail("index list count overruns payload");
+  std::vector<std::size_t> runs;
+  runs.reserve(static_cast<std::size_t>(count));
+  std::size_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(payload, pos, &delta)) fail("truncated index list entry");
+    prev += static_cast<std::size_t>(delta);
+    runs.push_back(prev);
+  }
+  return runs;
+}
+
+/// Inserts `run` into an ascending postings list (appends are usually
+/// already in order; a fleet master store may interleave).
+void insert_sorted(std::vector<std::size_t>* runs, std::size_t run) {
+  if (runs->empty() || runs->back() < run) {
+    runs->push_back(run);
+    return;
+  }
+  runs->insert(std::lower_bound(runs->begin(), runs->end(), run), run);
+}
+
+}  // namespace
+
+bool is_binary_store(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  return in.gcount() == static_cast<std::streamsize>(magic.size()) &&
+         magic == kBinaryStoreMagic;
+}
+
+std::string BinaryStoreIndex::encode() const {
+  std::string out;
+  put_varint(&out, offset_by_run.size());
+  std::size_t prev = 0;
+  for (const auto& [run, offset] : offset_by_run) {
+    put_varint(&out, run - prev);
+    put_varint(&out, offset);
+    prev = run;
+  }
+  for (const auto& runs : runs_by_outcome) append_varint_list(&out, runs);
+  put_varint(&out, runs_by_scenario.size());
+  for (const auto& [scenario, runs] : runs_by_scenario) {
+    put_varint(&out, scenario);
+    append_varint_list(&out, runs);
+  }
+  return out;
+}
+
+BinaryStoreIndex BinaryStoreIndex::decode(std::string_view payload) {
+  BinaryStoreIndex index;
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!get_varint(payload, &pos, &count)) fail("truncated index count");
+  if (count > payload.size()) fail("index count overruns payload");
+  std::size_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0, offset = 0;
+    if (!get_varint(payload, &pos, &delta) ||
+        !get_varint(payload, &pos, &offset))
+      fail("truncated index entry");
+    if (i > 0 && delta == 0) fail("duplicate run_index in index");
+    prev += static_cast<std::size_t>(delta);
+    index.offset_by_run.emplace(prev, offset);
+  }
+  for (auto& runs : index.runs_by_outcome)
+    runs = read_varint_list(payload, &pos);
+  if (!get_varint(payload, &pos, &count)) fail("truncated scenario count");
+  if (count > payload.size()) fail("scenario count overruns payload");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t scenario = 0;
+    if (!get_varint(payload, &pos, &scenario)) fail("truncated scenario key");
+    auto [it, inserted] = index.runs_by_scenario.emplace(
+        static_cast<std::size_t>(scenario), read_varint_list(payload, &pos));
+    if (!inserted) fail("duplicate scenario in index");
+  }
+  if (pos != payload.size()) fail("trailing bytes after index");
+  return index;
+}
+
+BinaryShardStore::BinaryShardStore(std::string path,
+                                   const CampaignManifest& manifest,
+                                   StoreOpenMode mode)
+    : path_(std::move(path)), manifest_(manifest) {
+  if (manifest_.shard_count == 0 ||
+      manifest_.shard_index >= manifest_.shard_count)
+    fail("invalid shard coordinates " + std::to_string(manifest_.shard_index) +
+         "/" + std::to_string(manifest_.shard_count));
+
+  if (mode == StoreOpenMode::kFresh) {
+    // Same guard as the JSONL store, format-agnostic: whatever container
+    // already sits at this path, durable records are never clobbered.
+    const std::size_t records = stored_record_count(path_);
+    if (records > 0)
+      fail("refusing to overwrite " + path_ + ": it already holds " +
+           std::to_string(records) +
+           " run record(s); resume it (--resume), discard it explicitly "
+           "(--overwrite), or delete the file");
+  }
+
+  const bool exists = mode == StoreOpenMode::kResume && fs::exists(path_);
+  bool fresh = true;
+  if (exists) {
+    const std::string text = read_file(path_);
+    if (text.empty()) {
+      fs::resize_file(path_, 0);
+    } else if (text.size() < kBinaryStoreMagic.size() ||
+               std::string_view(text).substr(0, kBinaryStoreMagic.size()) !=
+                   std::string_view(kBinaryStoreMagic.data(),
+                                    kBinaryStoreMagic.size())) {
+      fail(path_ +
+           ": existing file is not a binary store (resume it with the "
+           "format it was written in, or delete it)");
+    } else {
+      const ScanResult scan = scan_frames(text, path_);
+      if (scan.manifest_payload.empty()) {
+        // Crash tore the manifest frame itself: nothing durable, restart.
+        fs::resize_file(path_, 0);
+      } else {
+        const CampaignManifest stored = CampaignManifest::parse(
+            std::string(scan.manifest_payload));
+        const std::string reason = manifest_.mismatch_reason(stored);
+        if (!reason.empty())
+          fail(path_ + ": stored manifest does not match this campaign: " +
+               reason);
+        if (stored.shard_index != manifest_.shard_index ||
+            stored.shard_count != manifest_.shard_count)
+          fail(path_ + ": stored shard coordinates " +
+               std::to_string(stored.shard_index) + "/" +
+               std::to_string(stored.shard_count) +
+               " do not match requested " +
+               std::to_string(manifest_.shard_index) + "/" +
+               std::to_string(manifest_.shard_count));
+
+        for (const ScannedFrame& frame : scan.records) {
+          const InjectionRecord record = decode_record(frame.payload);
+          check_record_membership(record, manifest_, path_);
+          if (!completed_.insert(record.run_index).second)
+            fail(path_ + ": duplicate run_index " +
+                 std::to_string(record.run_index));
+          index_.offset_by_run.emplace(record.run_index, frame.offset);
+          insert_sorted(
+              &index_.runs_by_outcome[static_cast<std::size_t>(record.outcome)],
+              record.run_index);
+          insert_sorted(&index_.runs_by_scenario[record.scenario_index],
+                        record.run_index);
+        }
+        // Drop the torn tail and/or stale index footer before appending;
+        // finalize() writes a fresh footer over the same bytes.
+        if (scan.append_offset < text.size()) {
+          if (scan.torn)
+            obs::metrics().counter("store.binary.torn_truncations").add();
+          fs::resize_file(path_, scan.append_offset);
+        }
+        write_offset_ = scan.append_offset;
+        fresh = completed_.empty() && scan.append_offset <=
+                    kBinaryStoreMagic.size();
+      }
+    }
+  }
+
+  if (!fresh && write_offset_ == 0) fresh = true;
+  out_.open(path_, fresh ? (std::ios::binary | std::ios::trunc)
+                         : (std::ios::binary | std::ios::app));
+  if (!out_) fail("cannot open " + path_ + " for writing");
+  if (fresh) {
+    std::string header(kBinaryStoreMagic.data(), kBinaryStoreMagic.size());
+    header += encode_frame(kFrameManifest, manifest_.to_jsonl());
+    out_.write(header.data(),
+               static_cast<std::streamsize>(header.size()));
+    out_.flush();
+    if (!out_) fail("write failed on " + path_);
+    write_offset_ = header.size();
+  }
+}
+
+BinaryShardStore::~BinaryShardStore() {
+  try {
+    finalize();
+  } catch (...) {
+    // Destructor best-effort: a store left unsealed is still fully
+    // readable via the frame scan.
+  }
+}
+
+void BinaryShardStore::append(const InjectionRecord& record) {
+  DFI_SPAN("store.append");
+  if (finalized_) fail(path_ + ": append after finalize");
+  check_record_membership(record, manifest_, path_);
+  if (contains(record.run_index))
+    fail(path_ + ": run_index " + std::to_string(record.run_index) +
+         " already stored");
+  const auto start = std::chrono::steady_clock::now();
+  const std::string frame = encode_frame(kFrameRecord, encode_record(record));
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) fail("write failed on " + path_ + " (disk full or closed?)");
+
+  completed_.insert(record.run_index);
+  index_.offset_by_run.emplace(record.run_index, write_offset_);
+  insert_sorted(&index_.runs_by_outcome[static_cast<std::size_t>(record.outcome)],
+                record.run_index);
+  insert_sorted(&index_.runs_by_scenario[record.scenario_index],
+                record.run_index);
+  write_offset_ += frame.size();
+
+  static obs::Counter& appends_metric =
+      obs::metrics().counter("store.binary.appends");
+  static obs::Counter& bytes_metric =
+      obs::metrics().counter("store.binary.bytes_written");
+  static obs::Histogram& append_hist =
+      obs::metrics().histogram("store.binary.append_seconds");
+  appends_metric.add();
+  bytes_metric.add(frame.size());
+  append_hist.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void BinaryShardStore::finalize() {
+  if (finalized_) return;
+  if (!out_.is_open()) fail(path_ + ": finalize on a closed store");
+  std::string footer = encode_frame(kFrameIndex, index_.encode());
+  footer.append(kBinaryIndexMagic.data(), kBinaryIndexMagic.size());
+  put_u64le(&footer, write_offset_);
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out_.flush();
+  if (!out_) fail("write failed sealing " + path_);
+  out_.close();
+  finalized_ = true;
+  obs::metrics().counter("store.binary.seals").add();
+}
+
+BinaryStoreReader::BinaryStoreReader(const std::string& path) : path_(path) {
+  // One full read keeps open() simple and lets a missing/invalid trailer
+  // fall back to the scan; per-lookup seeks below reuse the open stream.
+  const std::string text = read_file(path);
+  if (text.size() < kBinaryStoreMagic.size() ||
+      std::string_view(text).substr(0, kBinaryStoreMagic.size()) !=
+          std::string_view(kBinaryStoreMagic.data(), kBinaryStoreMagic.size()))
+    fail(path + ": not a binary store (missing magic)");
+
+  const ScanResult scan = scan_frames(text, path);
+  if (scan.manifest_payload.empty())
+    fail(path + ": no manifest frame (empty or torn store)");
+  manifest_ = CampaignManifest::parse(std::string(scan.manifest_payload));
+
+  // Trust the stored footer only when its trailer is intact AND it covers
+  // exactly the records the scan saw; otherwise rebuild from the scan.
+  if (scan.index_payload.has_value()) {
+    const std::size_t trailer_at = text.size() - 16;
+    if (text.size() >= scan.index_offset + 16 &&
+        std::string_view(text).substr(trailer_at, 8) ==
+            std::string_view(kBinaryIndexMagic.data(),
+                             kBinaryIndexMagic.size()) &&
+        get_u64le(std::string_view(text).substr(trailer_at + 8, 8)) ==
+            scan.index_offset) {
+      BinaryStoreIndex stored = BinaryStoreIndex::decode(*scan.index_payload);
+      if (stored.offset_by_run.size() == scan.records.size()) {
+        index_ = std::move(stored);
+        used_stored_index_ = true;
+        obs::metrics().counter("store.binary.index_loads").add();
+      }
+    }
+  }
+  if (!used_stored_index_) {
+    for (const ScannedFrame& frame : scan.records) {
+      const InjectionRecord record = decode_record(frame.payload);
+      check_record_membership(record, manifest_, path_);
+      if (!index_.offset_by_run.emplace(record.run_index, frame.offset).second)
+        fail(path_ + ": duplicate run_index " +
+             std::to_string(record.run_index));
+      insert_sorted(
+          &index_.runs_by_outcome[static_cast<std::size_t>(record.outcome)],
+          record.run_index);
+      insert_sorted(&index_.runs_by_scenario[record.scenario_index],
+                    record.run_index);
+    }
+  }
+
+  in_.open(path, std::ios::binary);
+  if (!in_) fail("cannot reopen " + path);
+}
+
+bool BinaryStoreReader::lookup(std::size_t run_index,
+                               InjectionRecord* record) const {
+  const auto it = index_.offset_by_run.find(run_index);
+  if (it == index_.offset_by_run.end()) return false;
+
+  obs::metrics().counter("store.binary.point_lookups").add();
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(it->second));
+  char kind = 0;
+  if (!in_.get(kind) || kind != kFrameRecord)
+    fail(path_ + ": index offset " + std::to_string(it->second) +
+         " does not hold a record frame");
+  // Read the varint size byte-by-byte, then exactly the payload + checksum.
+  std::string head;
+  std::uint64_t payload_size = 0;
+  for (;;) {
+    char byte = 0;
+    if (!in_.get(byte)) fail(path_ + ": truncated frame size in lookup");
+    head.push_back(byte);
+    std::size_t pos = 0;
+    if (get_varint(head, &pos, &payload_size)) break;
+    if (head.size() > 10) fail(path_ + ": runaway frame size in lookup");
+  }
+  std::string payload(payload_size, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  std::array<char, 4> checksum{};
+  in_.read(checksum.data(), checksum.size());
+  if (!in_) fail(path_ + ": truncated record frame in lookup");
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(checksum[i]))
+              << (8 * i);
+  if (stored != payload_checksum(payload))
+    fail(path_ + ": record frame checksum mismatch in lookup");
+  *record = decode_record(payload);
+  if (record->run_index != run_index)
+    fail(path_ + ": index points run_index " + std::to_string(run_index) +
+         " at a frame holding run_index " +
+         std::to_string(record->run_index));
+  return true;
+}
+
+std::vector<InjectionRecord> BinaryStoreReader::read_all() const {
+  std::vector<InjectionRecord> records;
+  records.reserve(index_.offset_by_run.size());
+  for (const auto& [run, offset] : index_.offset_by_run) {
+    InjectionRecord record;
+    if (!lookup(run, &record)) fail(path_ + ": index entry vanished");
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+ShardContent read_binary_shard(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.size() < kBinaryStoreMagic.size() ||
+      std::string_view(text).substr(0, kBinaryStoreMagic.size()) !=
+          std::string_view(kBinaryStoreMagic.data(), kBinaryStoreMagic.size()))
+    fail(path + ": not a binary store (missing magic)");
+  const ScanResult scan = scan_frames(text, path);
+  if (scan.manifest_payload.empty())
+    fail(path + ": no manifest frame (empty or torn store)");
+
+  ShardContent content;
+  content.manifest = CampaignManifest::parse(std::string(scan.manifest_payload));
+  content.records.reserve(scan.records.size());
+  for (const ScannedFrame& frame : scan.records) {
+    content.records.push_back(decode_record(frame.payload));
+    check_record_membership(content.records.back(), content.manifest, path);
+  }
+  return content;
+}
+
+std::size_t binary_stored_record_count(const std::string& path) {
+  if (!fs::exists(path)) return 0;
+  const std::string text = read_file(path);
+  if (text.size() < kBinaryStoreMagic.size() ||
+      std::string_view(text).substr(0, kBinaryStoreMagic.size()) !=
+          std::string_view(kBinaryStoreMagic.data(), kBinaryStoreMagic.size()))
+    return 0;
+  try {
+    return scan_frames(text, path).records.size();
+  } catch (const std::exception&) {
+    // A corrupt store still "holds records" for the clobber pre-flight --
+    // refusing to overwrite it is the safe direction -- but the count is
+    // unknowable; report the frames scanned before the corruption.
+    return 1;
+  }
+}
+
+}  // namespace drivefi::core

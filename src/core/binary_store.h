@@ -1,0 +1,157 @@
+/// \file
+/// The binary record store: a compact, seekable, crash-tolerant container
+/// for campaign run records, with the exact manifest/compatibility
+/// semantics of the JSONL ShardResultStore. JSONL remains the canonical
+/// interchange -- a binary store reads back to the same InjectionRecords
+/// bit-for-bit, so merge_shards + write_merged_jsonl over binary (or
+/// mixed-format) shards is byte-identical to the JSONL path (enforced by
+/// tests/determinism_test.cpp).
+///
+/// On-disk layout (normative spec: docs/FORMATS.md "Binary record store"):
+///
+///   magic   8 bytes "DFIBREC1"
+///   frames  each frame: u8 kind | varint payload_size | payload bytes |
+///           u32le FNV-1a64-low32 checksum of the payload
+///     kind 'M' (one, first): payload is the manifest's canonical JSONL
+///           text -- the SAME bytes as the JSONL store's header line, so
+///           manifest identity/compatibility can never fork per format.
+///     kind 'R': payload is one record_codec-encoded InjectionRecord.
+///     kind 'I' (at most one, last): the index footer, followed by the
+///           16-byte trailer: "DFIXEND1" + u64le file offset of the 'I'
+///           frame. Payload: varint record_count, then per record (sorted
+///           by run_index) varint run_index delta + varint absolute file
+///           offset of its 'R' frame; then 4 outcome postings lists
+///           (varint count + varint run_index deltas each); then varint
+///           scenario count, and per scenario varint scenario_index +
+///           varint count + varint run_index deltas.
+///
+/// Crash safety mirrors the JSONL store: appends write one complete 'R'
+/// frame and flush, so a crash leaves every durable record plus at most
+/// one torn trailing frame, which reopening (kResume) truncates. The
+/// index footer exists only on cleanly closed stores -- finalize() (or the
+/// destructor) writes it, reopening for append truncates it first and
+/// close writes a fresh one. Readers never REQUIRE the footer: a store
+/// killed mid-append still reads fully via a frame scan.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/result_store.h"
+
+namespace drivefi::core {
+
+/// Leading bytes of every binary store file.
+inline constexpr std::array<char, 8> kBinaryStoreMagic = {
+    'D', 'F', 'I', 'B', 'R', 'E', 'C', '1'};
+/// Leading bytes of the fixed-size trailer that locates the index footer.
+inline constexpr std::array<char, 8> kBinaryIndexMagic = {
+    'D', 'F', 'I', 'X', 'E', 'N', 'D', '1'};
+
+/// Frame kind bytes.
+inline constexpr char kFrameManifest = 'M';
+inline constexpr char kFrameRecord = 'R';
+inline constexpr char kFrameIndex = 'I';
+
+/// True when the file at `path` starts with kBinaryStoreMagic (sniffs 8
+/// bytes; false for missing/short files).
+bool is_binary_store(const std::string& path);
+
+/// The parsed index footer: O(1)-seek structures over one store file.
+struct BinaryStoreIndex {
+  /// run_index -> byte offset of the record's 'R' frame (kind byte).
+  std::map<std::size_t, std::uint64_t> offset_by_run;
+  /// Outcome ordinal -> ascending run indices with that outcome.
+  std::array<std::vector<std::size_t>, 4> runs_by_outcome;
+  /// scenario_index -> ascending run indices of that scenario.
+  std::map<std::size_t, std::vector<std::size_t>> runs_by_scenario;
+
+  std::string encode() const;
+  /// Throws std::runtime_error on malformed payload bytes.
+  static BinaryStoreIndex decode(std::string_view payload);
+};
+
+/// Append-only, crash-tolerant binary result store for one shard.
+/// Open-mode semantics (kFresh clobber refusal, kResume manifest check +
+/// torn-tail truncation, kOverwrite) are identical to ShardResultStore.
+class BinaryShardStore final : public ShardStore {
+ public:
+  BinaryShardStore(std::string path, const CampaignManifest& manifest,
+                   StoreOpenMode mode = StoreOpenMode::kFresh);
+  /// Finalizes (writes the index footer) when the store is still open;
+  /// swallows write errors -- call finalize() yourself to observe them.
+  ~BinaryShardStore() override;
+
+  const std::string& path() const override { return path_; }
+  const CampaignManifest& manifest() const override { return manifest_; }
+  const std::set<std::size_t>& completed() const override {
+    return completed_;
+  }
+
+  /// Appends one record frame and flushes it to the OS. Same error
+  /// contract as ShardResultStore::append.
+  void append(const InjectionRecord& record) override;
+
+  /// Writes the index footer + trailer and closes the file. Idempotent;
+  /// append() after finalize() throws. Throws std::runtime_error on write
+  /// failure.
+  void finalize();
+
+ private:
+  std::string path_;
+  CampaignManifest manifest_;
+  std::set<std::size_t> completed_;
+  BinaryStoreIndex index_;
+  std::ofstream out_;
+  std::uint64_t write_offset_ = 0;  ///< next frame's file offset
+  bool finalized_ = false;
+};
+
+/// Random-access reader over one binary store file. Loads the index
+/// footer when the trailer is present and valid, otherwise rebuilds the
+/// same index with a full frame scan -- lookups behave identically either
+/// way, sealed or torn.
+class BinaryStoreReader {
+ public:
+  /// Opens and validates `path` (manifest frame + index). Throws
+  /// std::runtime_error on a missing file or corrupt content.
+  explicit BinaryStoreReader(const std::string& path);
+
+  const CampaignManifest& manifest() const { return manifest_; }
+  const BinaryStoreIndex& index() const { return index_; }
+  std::size_t record_count() const { return index_.offset_by_run.size(); }
+  /// Whether the on-disk index footer was used (false = scan rebuild).
+  bool used_stored_index() const { return used_stored_index_; }
+
+  /// O(1) point lookup: seeks straight to the record's frame and decodes
+  /// only it. Returns false when the store holds no such run_index.
+  bool lookup(std::size_t run_index, InjectionRecord* record) const;
+
+  /// Every record, in ascending run_index order.
+  std::vector<InjectionRecord> read_all() const;
+
+ private:
+  std::string path_;
+  CampaignManifest manifest_;
+  BinaryStoreIndex index_;
+  bool used_stored_index_ = false;
+  mutable std::ifstream in_;
+};
+
+/// Reads a whole binary store as a ShardContent (records in FILE order,
+/// mirroring the JSONL read_shard -- a torn trailing frame is ignored).
+/// Throws std::runtime_error on corrupt content. Usually reached through
+/// the format-dispatching core::read_shard.
+ShardContent read_binary_shard(const std::string& path);
+
+/// Number of complete record frames in a binary store file (0 for
+/// missing/empty/manifest-only); the binary half of stored_record_count.
+std::size_t binary_stored_record_count(const std::string& path);
+
+}  // namespace drivefi::core

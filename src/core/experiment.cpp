@@ -113,7 +113,7 @@ CampaignStats Experiment::run(const FaultModel& model,
 }
 
 CampaignStats Experiment::run_shard(const FaultModel& model,
-                                    ShardResultStore& store,
+                                    ShardStore& store,
                                     const std::vector<ResultSink*>& sinks) const {
   const CampaignManifest& manifest = store.manifest();
   // This shard's residue class, minus what the store already holds -- the
@@ -128,7 +128,7 @@ CampaignStats Experiment::run_shard(const FaultModel& model,
 
 CampaignStats Experiment::run_indices(
     const FaultModel& model, const std::vector<std::size_t>& run_indices,
-    ShardResultStore* store, const std::vector<ResultSink*>& sinks) const {
+    ShardStore* store, const std::vector<ResultSink*>& sinks) const {
   const auto start = std::chrono::steady_clock::now();
   if (store != nullptr) {
     // The store's manifest must describe THIS experiment and model, not

@@ -39,7 +39,7 @@ namespace drivefi::core {
 
 class FaultModel;
 struct RunSpec;
-class ShardResultStore;
+class ShardStore;
 
 struct ExperimentOptions {
   /// How many scene periods a TARGETED value fault is held (stuck-at)
@@ -151,7 +151,7 @@ class Experiment {
   /// merge_shards (core/result_store.h) reassembles them. Returns stats
   /// over the runs executed by THIS call only. Throws std::invalid_argument
   /// when the store's planned_runs disagrees with model.run_count().
-  CampaignStats run_shard(const FaultModel& model, ShardResultStore& store,
+  CampaignStats run_shard(const FaultModel& model, ShardStore& store,
                           const std::vector<ResultSink*>& sinks = {}) const;
 
   /// Execute an explicit list of run indices -- the lease-execution path
@@ -167,7 +167,7 @@ class Experiment {
   /// whose manifest does not describe this experiment+model.
   CampaignStats run_indices(const FaultModel& model,
                             const std::vector<std::size_t>& run_indices,
-                            ShardResultStore* store,
+                            ShardStore* store,
                             const std::vector<ResultSink*>& sinks = {}) const;
 
   /// Execute a single RunSpec and classify it (const, re-entrant; this is

@@ -70,6 +70,46 @@ int hex_value(char c) {
 
 }  // namespace
 
+std::uint64_t parse_u64_strict(const std::string& text,
+                               const std::string& context) {
+  // A bare digit check up front: std::stoull would silently WRAP a
+  // negative value ("-18" becomes 2^64-18), turning a corrupt field into
+  // a giant allocation downstream instead of the promised diagnostic.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text.front())))
+    bad(context + " is not an unsigned integer: " + text);
+  std::size_t used = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    bad(context + " is not an unsigned integer: " + text);
+  }
+  if (used != text.size())
+    bad(context + " has trailing bytes: " + text);
+  return out;
+}
+
+double parse_double_strict(const std::string& text,
+                           const std::string& context) {
+  if (text.empty() || text.front() == '"')
+    bad(context + " is not a number: " + text);
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(text, &used);
+  } catch (const std::exception&) {
+    bad(context + " is not a number: " + text);
+  }
+  if (used != text.size()) bad(context + " has trailing bytes: " + text);
+  return out;
+}
+
+bool parse_bool_strict(const std::string& text, const std::string& context) {
+  if (text == "true") return true;
+  if (text == "false") return false;
+  bad(context + " is not a boolean: " + text);
+}
+
 std::string json_unescape(const std::string& field) {
   std::string out;
   out.reserve(field.size());
@@ -197,45 +237,15 @@ std::string JsonLine::get_string(const std::string& key) const {
 }
 
 std::uint64_t JsonLine::get_u64(const std::string& key) const {
-  const std::string& v = raw(key);
-  // A bare digit check up front: std::stoull would silently WRAP a
-  // negative value ("-18" becomes 2^64-18), turning a corrupt field into
-  // a giant allocation downstream instead of the promised diagnostic.
-  if (v.empty() || !std::isdigit(static_cast<unsigned char>(v.front())))
-    bad("field \"" + key + "\" is not an unsigned integer in: " + line_);
-  std::size_t used = 0;
-  std::uint64_t out = 0;
-  try {
-    out = std::stoull(v, &used);
-  } catch (const std::exception&) {
-    bad("field \"" + key + "\" is not an integer in: " + line_);
-  }
-  if (used != v.size())
-    bad("field \"" + key + "\" has trailing bytes in: " + line_);
-  return out;
+  return parse_u64_strict(raw(key), "field \"" + key + "\" in " + line_);
 }
 
 double JsonLine::get_double(const std::string& key) const {
-  const std::string& v = raw(key);
-  if (v.empty() || v.front() == '"')
-    bad("field \"" + key + "\" is not a number in: " + line_);
-  std::size_t used = 0;
-  double out = 0.0;
-  try {
-    out = std::stod(v, &used);
-  } catch (const std::exception&) {
-    bad("field \"" + key + "\" is not a number in: " + line_);
-  }
-  if (used != v.size())
-    bad("field \"" + key + "\" has trailing bytes in: " + line_);
-  return out;
+  return parse_double_strict(raw(key), "field \"" + key + "\" in " + line_);
 }
 
 bool JsonLine::get_bool(const std::string& key) const {
-  const std::string& v = raw(key);
-  if (v == "true") return true;
-  if (v == "false") return false;
-  bad("field \"" + key + "\" is not a boolean in: " + line_);
+  return parse_bool_strict(raw(key), "field \"" + key + "\" in " + line_);
 }
 
 }  // namespace drivefi::core

@@ -31,6 +31,24 @@ std::string json_unescape(const std::string& field);
 /// in the tests and benches rely on it).
 std::string scrub_wall_seconds(std::string jsonl);
 
+/// Strict numeric/boolean value parsing, shared by every JSON-field
+/// consumer (JsonLine accessors, the manifest parser, the shard stores,
+/// the fleet protocol, CLI value validation). One definition of "valid"
+/// so the formats can never drift: negatives, leading '+', overflow, hex,
+/// empty input, and trailing garbage are all rejected with an exception
+/// naming `context`. Covered adversarially by tests/format_fuzz_test.cpp.
+///
+/// parse_u64_strict accepts only `[0-9]+` that fits std::uint64_t.
+std::uint64_t parse_u64_strict(const std::string& text,
+                               const std::string& context);
+/// parse_double_strict accepts what our writers emit: decimal literals
+/// (std::stod grammar, which includes `nan`/`inf` spellings), never a
+/// quoted string, never trailing bytes.
+double parse_double_strict(const std::string& text,
+                           const std::string& context);
+/// parse_bool_strict accepts exactly `true` or `false`.
+bool parse_bool_strict(const std::string& text, const std::string& context);
+
 /// Read-only view over one flat JSON object line, e.g.
 /// `{"type":"run","run_index":3,"description":"..."}`. Field values must be
 /// strings, numbers, or `true`/`false`; nested objects/arrays are rejected.

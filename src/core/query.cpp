@@ -1,0 +1,203 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "util/bits.h"
+
+namespace drivefi::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("query: " + what);
+}
+
+double metric_of(const InjectionRecord& record, RecordMetric metric) {
+  return metric == RecordMetric::kMinDeltaLon ? record.min_delta_lon
+                                              : record.max_actuation_divergence;
+}
+
+bool records_equal(const InjectionRecord& a, const InjectionRecord& b) {
+  return a.run_index == b.run_index && a.description == b.description &&
+         a.scenario_index == b.scenario_index &&
+         a.scene_index == b.scene_index && a.outcome == b.outcome &&
+         util::bits_equal(a.min_delta_lon, b.min_delta_lon) &&
+         util::bits_equal(a.max_actuation_divergence,
+                          b.max_actuation_divergence);
+}
+
+}  // namespace
+
+CampaignView load_campaign(const std::vector<std::string>& paths) {
+  if (paths.empty()) fail("load_campaign needs at least one store file");
+
+  CampaignView view;
+  view.paths = paths;
+  std::map<std::size_t, InjectionRecord> by_index;
+  for (std::size_t s = 0; s < paths.size(); ++s) {
+    ShardContent shard = read_shard(paths[s]);
+    if (s == 0) {
+      view.manifest = shard.manifest;
+    } else {
+      const std::string reason =
+          view.manifest.mismatch_reason(shard.manifest);
+      if (!reason.empty())
+        fail(paths[s] + ": store belongs to a different campaign: " + reason);
+    }
+    for (InjectionRecord& record : shard.records) {
+      const std::size_t run = record.run_index;
+      if (!by_index.emplace(run, std::move(record)).second)
+        fail(paths[s] + ": duplicate run_index " + std::to_string(run) +
+             " across the store set");
+    }
+  }
+
+  view.manifest.shard_index = 0;
+  view.manifest.shard_count = 1;
+  view.records.reserve(by_index.size());
+  for (auto& [run, record] : by_index)
+    view.records.push_back(std::move(record));
+  return view;
+}
+
+std::size_t& OutcomeCounts::of(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return masked;
+    case Outcome::kSdcBenign: return sdc_benign;
+    case Outcome::kHang: return hang;
+    case Outcome::kHazard: return hazard;
+  }
+  throw std::logic_error("query: unknown outcome ordinal");
+}
+
+OutcomeCounts count_outcomes(const std::vector<InjectionRecord>& records) {
+  OutcomeCounts counts;
+  for (const InjectionRecord& record : records) ++counts.of(record.outcome);
+  return counts;
+}
+
+double nearest_rank_quantile(std::vector<double> values, double q) {
+  if (values.empty())
+    throw std::invalid_argument("query: quantile of an empty set");
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("query: quantile q must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: rank ceil(q * n) in 1-based terms, clamped to [1, n].
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+MetricSummary summarize_metric(const std::vector<InjectionRecord>& records,
+                               RecordMetric metric) {
+  if (records.empty())
+    throw std::invalid_argument("query: metric summary of an empty campaign");
+  std::vector<double> values;
+  values.reserve(records.size());
+  double sum = 0.0;
+  for (const InjectionRecord& record : records) {
+    values.push_back(metric_of(record, metric));
+    sum += values.back();
+  }
+  MetricSummary summary;
+  summary.mean = sum / static_cast<double>(values.size());
+  summary.p50 = nearest_rank_quantile(values, 0.5);
+  summary.p90 = nearest_rank_quantile(values, 0.9);
+  summary.p99 = nearest_rank_quantile(values, 0.99);
+  std::sort(values.begin(), values.end());
+  summary.min = values.front();
+  summary.max = values.back();
+  return summary;
+}
+
+std::vector<ScenarioRow> scenario_table(const CampaignView& view) {
+  std::map<std::size_t, ScenarioRow> rows;
+  std::map<std::size_t, std::set<std::size_t>> hazard_scenes;
+  for (const InjectionRecord& record : view.records) {
+    auto [it, inserted] = rows.emplace(record.scenario_index, ScenarioRow{});
+    ScenarioRow& row = it->second;
+    if (inserted) {
+      row.scenario_index = record.scenario_index;
+      row.worst_min_delta_lon = record.min_delta_lon;
+    }
+    ++row.counts.of(record.outcome);
+    row.worst_min_delta_lon =
+        std::min(row.worst_min_delta_lon, record.min_delta_lon);
+    if (record.outcome == Outcome::kHazard)
+      hazard_scenes[record.scenario_index].insert(record.scene_index);
+  }
+  std::vector<ScenarioRow> table;
+  table.reserve(rows.size());
+  for (auto& [scenario, row] : rows) {
+    row.hazard_scenes = hazard_scenes.count(scenario) != 0
+                            ? hazard_scenes[scenario].size()
+                            : 0;
+    table.push_back(row);
+  }
+  return table;
+}
+
+bool lookup_run(const CampaignView& view, std::size_t run_index,
+                InjectionRecord* record) {
+  const auto it = std::lower_bound(
+      view.records.begin(), view.records.end(), run_index,
+      [](const InjectionRecord& r, std::size_t run) {
+        return r.run_index < run;
+      });
+  if (it == view.records.end() || it->run_index != run_index) return false;
+  *record = *it;
+  return true;
+}
+
+CampaignDiff diff_campaigns(const CampaignView& a, const CampaignView& b) {
+  // The fault set must be identical or a per-run comparison is
+  // meaningless; the ADS configuration underneath it may differ.
+  if (a.manifest.model != b.manifest.model)
+    fail("cannot diff campaigns of different models (\"" + a.manifest.model +
+         "\" vs \"" + b.manifest.model + "\")");
+  if (a.manifest.model_params != b.manifest.model_params)
+    fail("cannot diff campaigns with different model parameters (\"" +
+         a.manifest.model_params + "\" vs \"" + b.manifest.model_params +
+         "\")");
+  if (a.manifest.planned_runs != b.manifest.planned_runs)
+    fail("cannot diff campaigns of different sizes (" +
+         std::to_string(a.manifest.planned_runs) + " vs " +
+         std::to_string(b.manifest.planned_runs) + " planned runs)");
+  if (a.manifest.scenario_hash != b.manifest.scenario_hash)
+    fail("cannot diff campaigns over different scenario corpora (hash " +
+         std::to_string(a.manifest.scenario_hash) + " vs " +
+         std::to_string(b.manifest.scenario_hash) + ")");
+
+  CampaignDiff diff;
+  auto ia = a.records.begin();
+  auto ib = b.records.begin();
+  while (ia != a.records.end() || ib != b.records.end()) {
+    if (ib == b.records.end() ||
+        (ia != a.records.end() && ia->run_index < ib->run_index)) {
+      diff.only_a.push_back(ia->run_index);
+      ++ia;
+    } else if (ia == a.records.end() || ib->run_index < ia->run_index) {
+      diff.only_b.push_back(ib->run_index);
+      ++ib;
+    } else {
+      ++diff.compared;
+      if (!records_equal(*ia, *ib)) {
+        DiffEntry entry;
+        entry.run_index = ia->run_index;
+        entry.a = *ia;
+        entry.b = *ib;
+        entry.outcome_flipped = ia->outcome != ib->outcome;
+        diff.changed.push_back(std::move(entry));
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return diff;
+}
+
+}  // namespace drivefi::core

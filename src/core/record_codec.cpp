@@ -1,0 +1,116 @@
+#include "core/record_codec.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/outcome.h"
+
+namespace drivefi::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("record_codec: " + what);
+}
+
+}  // namespace
+
+void put_varint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool get_varint(std::string_view data, std::size_t* pos,
+                std::uint64_t* value) {
+  std::uint64_t result = 0;
+  for (std::size_t i = 0;; ++i) {
+    if (*pos + i >= data.size()) return false;  // truncated, not consumed
+    const auto byte = static_cast<std::uint8_t>(data[*pos + i]);
+    if (i == 9) {
+      // Byte 10 carries bits 63..69: anything but exactly bit 63 (0x01)
+      // overflows 64 bits, and a continuation bit makes it over-long.
+      if (byte > 1) fail("varint overflows 64 bits");
+    }
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      // Canonical form only: a zero final byte after a continuation would
+      // be a padded spelling of a shorter varint.
+      if (i > 0 && byte == 0) fail("non-canonical varint padding");
+      *pos += i + 1;
+      *value = result;
+      return true;
+    }
+    if (i == 9) fail("varint longer than 10 bytes");
+  }
+}
+
+void put_double_bits(std::string* out, double value) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(bits & 0xff));
+    bits >>= 8;
+  }
+}
+
+bool get_double_bits(std::string_view data, std::size_t* pos, double* value) {
+  if (*pos + 8 > data.size()) return false;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(data[*pos + i]))
+            << (8 * i);
+  *pos += 8;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+std::string encode_record(const InjectionRecord& record) {
+  std::string out;
+  out.reserve(32 + record.description.size());
+  put_varint(&out, record.run_index);
+  put_varint(&out, record.scenario_index);
+  put_varint(&out, record.scene_index);
+  out.push_back(static_cast<char>(record.outcome));
+  put_varint(&out, record.description.size());
+  out += record.description;
+  put_double_bits(&out, record.min_delta_lon);
+  put_double_bits(&out, record.max_actuation_divergence);
+  return out;
+}
+
+InjectionRecord decode_record(std::string_view payload) {
+  InjectionRecord record;
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+
+  if (!get_varint(payload, &pos, &value)) fail("truncated run_index");
+  record.run_index = static_cast<std::size_t>(value);
+  if (!get_varint(payload, &pos, &value)) fail("truncated scenario_index");
+  record.scenario_index = static_cast<std::size_t>(value);
+  if (!get_varint(payload, &pos, &value)) fail("truncated scene_index");
+  record.scene_index = static_cast<std::size_t>(value);
+
+  if (pos >= payload.size()) fail("truncated outcome");
+  const auto outcome_byte = static_cast<std::uint8_t>(payload[pos++]);
+  if (outcome_byte > static_cast<std::uint8_t>(Outcome::kHazard))
+    fail("unknown outcome byte " + std::to_string(outcome_byte));
+  record.outcome = static_cast<Outcome>(outcome_byte);
+
+  if (!get_varint(payload, &pos, &value)) fail("truncated description size");
+  if (value > payload.size() - pos) fail("description overruns payload");
+  record.description.assign(payload.data() + pos,
+                            static_cast<std::size_t>(value));
+  pos += static_cast<std::size_t>(value);
+
+  if (!get_double_bits(payload, &pos, &record.min_delta_lon))
+    fail("truncated min_delta_lon");
+  if (!get_double_bits(payload, &pos, &record.max_actuation_divergence))
+    fail("truncated max_actuation_divergence");
+  if (pos != payload.size()) fail("trailing bytes after record");
+  return record;
+}
+
+}  // namespace drivefi::core

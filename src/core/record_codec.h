@@ -1,0 +1,57 @@
+/// \file
+/// Compact binary encoding of one InjectionRecord -- the payload format of
+/// the binary shard store (core/binary_store.h). Counters are LEB128
+/// varints, the outcome is one byte, the description is length-prefixed
+/// raw bytes, and the two doubles are fixed-width little-endian bit
+/// patterns, so signed zeros, NaN payloads, and every extreme value
+/// round-trip exactly (the same representation-equality discipline as
+/// util/bits.h).
+///
+/// Error contract: decode_record throws std::runtime_error on ANY
+/// malformed payload -- truncation, an over-long varint, an unknown
+/// outcome byte, trailing bytes -- and never reads out of bounds
+/// (tests/format_fuzz_test.cpp byte-storms it under ASan/UBSan). The
+/// encoding is canonical: encode_record(decode_record(p)) == p for every
+/// accepted payload, which is what lets the store checksum payload bytes
+/// instead of parsed fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/campaign_stats.h"
+
+namespace drivefi::core {
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (7 value bits
+/// per byte, high bit = continuation; at most 10 bytes for 64 bits).
+void put_varint(std::string* out, std::uint64_t value);
+
+/// Reads one varint from `data` starting at `*pos`, advancing `*pos` past
+/// it. Returns false -- without advancing -- when the buffer ends before
+/// the varint does (truncation). Throws std::runtime_error on an over-long
+/// or non-canonical encoding (more than 10 bytes, or bits beyond the
+/// 64th), so every value has exactly one accepted spelling.
+bool get_varint(std::string_view data, std::size_t* pos, std::uint64_t* value);
+
+/// Appends the 8-byte little-endian bit pattern of `value`.
+void put_double_bits(std::string* out, double value);
+
+/// Reads an 8-byte little-endian double bit pattern at `*pos`, advancing
+/// past it. Returns false on truncation.
+bool get_double_bits(std::string_view data, std::size_t* pos, double* value);
+
+/// Encodes one record as a self-contained payload (no framing):
+///   varint run_index | varint scenario_index | varint scene_index |
+///   u8 outcome | varint description_size | description bytes |
+///   f64le min_delta_lon | f64le max_actuation_divergence
+std::string encode_record(const InjectionRecord& record);
+
+/// Inverse of encode_record. Throws std::runtime_error (naming the bad
+/// field) on truncated, corrupt, or trailing bytes; bit-exact on the
+/// doubles.
+InjectionRecord decode_record(std::string_view payload);
+
+}  // namespace drivefi::core

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "core/binary_store.h"
 #include "core/jsonl.h"
 #include "core/result_sink.h"
 #include "obs/metrics.h"
@@ -75,10 +76,11 @@ std::string read_file(const std::string& path) {
   return content.str();
 }
 
-// Validates that a record belongs to the shard its file claims to hold.
-void check_membership(const InjectionRecord& record,
-                      const CampaignManifest& manifest,
-                      const std::string& path) {
+}  // namespace
+
+void check_record_membership(const InjectionRecord& record,
+                             const CampaignManifest& manifest,
+                             const std::string& path) {
   if (record.run_index >= manifest.planned_runs)
     fail(path + ": run_index " + std::to_string(record.run_index) +
          " is outside the campaign (planned_runs " +
@@ -89,10 +91,37 @@ void check_membership(const InjectionRecord& record,
          "/" + std::to_string(manifest.shard_count));
 }
 
-}  // namespace
+StoreFormat parse_store_format(const std::string& name) {
+  if (name == "jsonl") return StoreFormat::kJsonl;
+  if (name == "binary") return StoreFormat::kBinary;
+  fail("unknown store format \"" + name + "\" (expected jsonl or binary)");
+}
+
+const char* store_format_name(StoreFormat format) {
+  return format == StoreFormat::kBinary ? "binary" : "jsonl";
+}
+
+StoreFormat detect_store_format(const std::string& path, StoreFormat fallback) {
+  if (!std::filesystem::exists(path)) return fallback;
+  if (is_binary_store(path)) return StoreFormat::kBinary;
+  std::ifstream in(path, std::ios::binary);
+  char first = 0;
+  if (!in.get(first)) return fallback;  // empty file
+  return StoreFormat::kJsonl;
+}
+
+std::unique_ptr<ShardStore> open_shard_store(const std::string& path,
+                                             const CampaignManifest& manifest,
+                                             StoreFormat format,
+                                             StoreOpenMode mode) {
+  if (format == StoreFormat::kBinary)
+    return std::make_unique<BinaryShardStore>(path, manifest, mode);
+  return std::make_unique<ShardResultStore>(path, manifest, mode);
+}
 
 std::size_t stored_record_count(const std::string& path) {
   if (!std::filesystem::exists(path)) return 0;
+  if (is_binary_store(path)) return binary_stored_record_count(path);
   std::vector<std::string> lines;
   complete_lines(read_file(path), &lines);
   return lines.size() <= 1 ? 0 : lines.size() - 1;
@@ -120,6 +149,10 @@ ShardResultStore::ShardResultStore(std::string path,
 
   const bool exists = mode == StoreOpenMode::kResume && fs::exists(path_);
   if (exists) {
+    if (is_binary_store(path_))
+      fail(path_ +
+           ": existing file is a binary store (resume it with the format it "
+           "was written in, or delete it)");
     const std::string text = read_file(path_);
     std::vector<std::string> lines;
     const std::size_t valid_end = complete_lines(text, &lines);
@@ -144,7 +177,7 @@ ShardResultStore::ShardResultStore(std::string path,
 
       for (std::size_t i = 1; i < lines.size(); ++i) {
         const InjectionRecord record = parse_run_record(lines[i]);
-        check_membership(record, manifest_, path_);
+        check_record_membership(record, manifest_, path_);
         if (!completed_.insert(record.run_index).second)
           fail(path_ + ": duplicate run_index " +
                std::to_string(record.run_index));
@@ -170,7 +203,7 @@ ShardResultStore::ShardResultStore(std::string path,
 
 void ShardResultStore::append(const InjectionRecord& record) {
   DFI_SPAN("store.append");
-  check_membership(record, manifest_, path_);
+  check_record_membership(record, manifest_, path_);
   if (contains(record.run_index))
     fail(path_ + ": run_index " + std::to_string(record.run_index) +
          " already stored");
@@ -189,6 +222,7 @@ void ShardResultStore::append(const InjectionRecord& record) {
 }
 
 ShardContent read_shard(const std::string& path) {
+  if (is_binary_store(path)) return read_binary_shard(path);
   const std::string text = read_file(path);
   std::vector<std::string> lines;
   complete_lines(text, &lines);
@@ -199,7 +233,7 @@ ShardContent read_shard(const std::string& path) {
   content.records.reserve(lines.size() - 1);
   for (std::size_t i = 1; i < lines.size(); ++i) {
     content.records.push_back(parse_run_record(lines[i]));
-    check_membership(content.records.back(), content.manifest, path);
+    check_record_membership(content.records.back(), content.manifest, path);
   }
   return content;
 }

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -48,8 +49,69 @@ enum class StoreOpenMode {
   kOverwrite,
 };
 
+/// The two durable record formats. Format is PROVENANCE, not
+/// compatibility: which container a shard was written into can never
+/// change its records, so jsonl and binary shards of one campaign merge
+/// bit-identically (read_shard dispatches on the file's own magic bytes,
+/// never on a flag).
+enum class StoreFormat {
+  kJsonl,   ///< line-oriented JSONL (core/result_store.h, the original)
+  kBinary,  ///< framed varint records + index footer (core/binary_store.h)
+};
+
+/// Parses "jsonl" | "binary" (the --store-format CLI values). Throws
+/// std::runtime_error on anything else.
+StoreFormat parse_store_format(const std::string& name);
+const char* store_format_name(StoreFormat format);
+
+/// Validates that a record belongs to the shard its file claims to hold
+/// (run_index inside the campaign AND in the shard's residue class);
+/// throws std::runtime_error naming `path` otherwise. One definition of
+/// membership, shared by both store formats.
+void check_record_membership(const InjectionRecord& record,
+                             const CampaignManifest& manifest,
+                             const std::string& path);
+
+/// Which format the file at `path` holds, decided by its leading bytes
+/// (binary stores open with the kBinaryStoreMagic header, JSONL stores
+/// with '{'). A missing or empty file reports `fallback`.
+StoreFormat detect_store_format(const std::string& path,
+                                StoreFormat fallback = StoreFormat::kJsonl);
+
+/// Uniform interface over the durable shard stores: the JSONL
+/// ShardResultStore and the binary BinaryShardStore share manifest
+/// semantics, the completed-index set, and the append contract, so the
+/// engine (Experiment::run_shard / run_indices), the fleet coordinator,
+/// and the worker all run against either format unchanged.
+class ShardStore {
+ public:
+  virtual ~ShardStore() = default;
+
+  virtual const std::string& path() const = 0;
+  virtual const CampaignManifest& manifest() const = 0;
+  /// Run indices already present in the store (global campaign indices).
+  virtual const std::set<std::size_t>& completed() const = 0;
+  bool contains(std::size_t run_index) const {
+    return completed().count(run_index) != 0;
+  }
+
+  /// Appends one record durably. Throws std::runtime_error if the
+  /// record's run_index is outside this shard or already present, or if
+  /// the write/flush fails (disk full, closed stream).
+  virtual void append(const InjectionRecord& record) = 0;
+};
+
+/// Opens the durable store for `manifest`'s shard at `path` in the given
+/// on-disk format (kJsonl -> ShardResultStore, kBinary ->
+/// BinaryShardStore); the open-mode semantics are identical across
+/// formats. Throws like the store constructors.
+std::unique_ptr<ShardStore> open_shard_store(const std::string& path,
+                                             const CampaignManifest& manifest,
+                                             StoreFormat format,
+                                             StoreOpenMode mode);
+
 /// Append-only, crash-tolerant result file for one shard of a campaign.
-class ShardResultStore {
+class ShardResultStore : public ShardStore {
  public:
   /// Opens `path` for shard `manifest.shard_index` of `manifest.shard_count`
   /// according to `mode` (see StoreOpenMode). On kResume, a stored manifest
@@ -61,19 +123,18 @@ class ShardResultStore {
   ShardResultStore(std::string path, const CampaignManifest& manifest,
                    StoreOpenMode mode = StoreOpenMode::kFresh);
 
-  const std::string& path() const { return path_; }
-  const CampaignManifest& manifest() const { return manifest_; }
+  const std::string& path() const override { return path_; }
+  const CampaignManifest& manifest() const override { return manifest_; }
 
   /// Run indices already present in the store (global campaign indices).
-  const std::set<std::size_t>& completed() const { return completed_; }
-  bool contains(std::size_t run_index) const {
-    return completed_.count(run_index) != 0;
+  const std::set<std::size_t>& completed() const override {
+    return completed_;
   }
 
   /// Appends one record and flushes it to the OS. Throws std::runtime_error
   /// if the record's run_index is outside this shard or already present,
   /// or if the write/flush fails (disk full, closed stream).
-  void append(const InjectionRecord& record);
+  void append(const InjectionRecord& record) override;
 
  private:
   std::string path_;
@@ -82,10 +143,11 @@ class ShardResultStore {
   std::ofstream out_;
 };
 
-/// Number of complete (newline-terminated) run-record lines in a store
-/// file, without parsing them -- 0 for a missing, empty, or manifest-only
-/// file. Cheap enough for a CLI pre-flight: the kFresh clobber refusal can
-/// fire before any expensive campaign precompute is spent.
+/// Number of complete run records in a store file of EITHER format
+/// (detected from the file's own bytes), without parsing record payloads
+/// -- 0 for a missing, empty, or manifest-only file. Cheap enough for a
+/// CLI pre-flight: the kFresh clobber refusal can fire before any
+/// expensive campaign precompute is spent.
 std::size_t stored_record_count(const std::string& path);
 
 /// One shard file's parsed content.
@@ -94,9 +156,11 @@ struct ShardContent {
   std::vector<InjectionRecord> records;  // file order
 };
 
-/// Reads and validates a single shard store file (manifest line + records;
-/// a torn trailing line is ignored). Throws std::runtime_error on corrupt
-/// content.
+/// Reads and validates a single shard store file of either format
+/// (manifest + records; a torn trailing line/frame is ignored), detected
+/// from the file's leading bytes. Throws std::runtime_error on corrupt
+/// content. Because both formats decode to identical InjectionRecords,
+/// merge_shards accepts MIXED-format shard sets and stays bit-identical.
 ShardContent read_shard(const std::string& path);
 
 /// A reassembled campaign: the manifest with shard coordinates reset to

@@ -1,0 +1,308 @@
+// Binary record store semantics: round-trip fidelity, the index footer
+// (sealed stores load it, torn stores rebuild by scan, lookups agree),
+// crash-safe resume (torn trailing frame truncation, footer stripping),
+// the kFresh clobber refusal, manifest/format mismatch refusals, and
+// mixed-format shard merging. The byte-level campaign equivalence lives
+// in tests/determinism_test.cpp (BinaryStoreExportsByteIdenticalJsonl);
+// adversarial byte-storms live in tests/format_fuzz_test.cpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/binary_store.h"
+#include "core/record_codec.h"
+#include "core/result_store.h"
+#include "util/bits.h"
+
+namespace drivefi::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / ("drivefi_binstore_" + name))
+      .string();
+}
+
+InjectionRecord make_record(std::size_t run_index) {
+  InjectionRecord record;
+  record.run_index = run_index;
+  record.description = "synthetic \"quoted\"\tdesc #" + std::to_string(run_index);
+  record.scenario_index = run_index % 3;
+  record.scene_index = 10 + run_index;
+  record.outcome = static_cast<Outcome>(run_index % 4);
+  record.min_delta_lon = 175.00000000000171 - static_cast<double>(run_index);
+  record.max_actuation_divergence = 0.1 * static_cast<double>(run_index);
+  return record;
+}
+
+CampaignManifest make_manifest_for_test(std::size_t planned,
+                                        std::size_t shard_index = 0,
+                                        std::size_t shard_count = 1) {
+  CampaignManifest m;
+  m.model = "random-value";
+  m.model_params = "n=" + std::to_string(planned) + " seed=2024";
+  m.planned_runs = planned;
+  m.scenario_spec = "test";
+  m.scenario_hash = 0xfeedbeefULL;
+  m.pipeline_seed = 11;
+  m.hold_scenes = 2.0;
+  m.shard_index = shard_index;
+  m.shard_count = shard_count;
+  return m;
+}
+
+void expect_records_equal(const InjectionRecord& a, const InjectionRecord& b) {
+  EXPECT_EQ(a.run_index, b.run_index);
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.scenario_index, b.scenario_index);
+  EXPECT_EQ(a.scene_index, b.scene_index);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_TRUE(util::bits_equal(a.min_delta_lon, b.min_delta_lon));
+  EXPECT_TRUE(
+      util::bits_equal(a.max_actuation_divergence, b.max_actuation_divergence));
+}
+
+TEST(BinaryStore, SealedStoreRoundTripsAndLoadsItsIndex) {
+  const std::string path = temp_path("roundtrip.bin");
+  const CampaignManifest manifest = make_manifest_for_test(8);
+  {
+    BinaryShardStore store(path, manifest, StoreOpenMode::kOverwrite);
+    for (std::size_t r = 0; r < 8; ++r) store.append(make_record(r));
+    store.finalize();
+  }
+  EXPECT_TRUE(is_binary_store(path));
+  EXPECT_EQ(detect_store_format(path), StoreFormat::kBinary);
+  EXPECT_EQ(stored_record_count(path), 8u);
+
+  BinaryStoreReader reader(path);
+  EXPECT_TRUE(reader.used_stored_index());
+  EXPECT_EQ(reader.record_count(), 8u);
+  EXPECT_TRUE(reader.manifest().mismatch_reason(manifest).empty());
+  for (std::size_t r = 0; r < 8; ++r) {
+    InjectionRecord record;
+    ASSERT_TRUE(reader.lookup(r, &record)) << "run " << r;
+    expect_records_equal(make_record(r), record);
+  }
+  InjectionRecord missing;
+  EXPECT_FALSE(reader.lookup(99, &missing));
+
+  // The secondary indexes partition the runs by outcome and scenario.
+  std::size_t outcome_total = 0;
+  for (const auto& runs : reader.index().runs_by_outcome)
+    outcome_total += runs.size();
+  EXPECT_EQ(outcome_total, 8u);
+  EXPECT_EQ(reader.index().runs_by_scenario.size(), 3u);
+
+  // And the generic format-dispatching reader sees the same records.
+  const ShardContent content = read_shard(path);
+  ASSERT_EQ(content.records.size(), 8u);
+  for (std::size_t r = 0; r < 8; ++r)
+    expect_records_equal(make_record(r), content.records[r]);
+}
+
+TEST(BinaryStore, UnsealedStoreReadsViaScanWithIdenticalLookups) {
+  const std::string path = temp_path("unsealed.bin");
+  const CampaignManifest manifest = make_manifest_for_test(4);
+  {
+    BinaryShardStore store(path, manifest, StoreOpenMode::kOverwrite);
+    for (std::size_t r = 0; r < 4; ++r) store.append(make_record(r));
+    store.finalize();
+  }
+  // Chop the trailer off (a crash between the last append and the seal):
+  // the reader must fall back to the frame scan and behave identically.
+  fs::resize_file(path, fs::file_size(path) - 16);
+  BinaryStoreReader reader(path);
+  EXPECT_FALSE(reader.used_stored_index());
+  EXPECT_EQ(reader.record_count(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    InjectionRecord record;
+    ASSERT_TRUE(reader.lookup(r, &record));
+    expect_records_equal(make_record(r), record);
+  }
+  EXPECT_EQ(read_shard(path).records.size(), 4u);
+}
+
+TEST(BinaryStore, ResumeTruncatesTornTailAndContinues) {
+  const std::string path = temp_path("torn.bin");
+  const CampaignManifest manifest = make_manifest_for_test(6);
+  {
+    BinaryShardStore store(path, manifest, StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+    store.append(make_record(1));
+    store.finalize();
+  }
+  // Strip the footer + trailer (locate the 'I' frame via the trailer's
+  // offset), then dangle a torn record frame: what SIGKILL mid-append
+  // leaves.
+  std::uint64_t index_offset = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(-8, std::ios::end);
+    for (int i = 0; i < 8; ++i)
+      index_offset |= static_cast<std::uint64_t>(
+                          static_cast<std::uint8_t>(in.get()))
+                      << (8 * i);
+  }
+  fs::resize_file(path, index_offset);
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::app);
+    torn << 'R' << '\x30' << "torn";
+  }
+  EXPECT_EQ(stored_record_count(path), 2u);  // the torn frame never counts
+
+  BinaryShardStore resumed(path, manifest, StoreOpenMode::kResume);
+  EXPECT_EQ(resumed.completed(), (std::set<std::size_t>{0, 1}));
+  resumed.append(make_record(2));
+  resumed.finalize();
+
+  BinaryStoreReader reader(path);
+  EXPECT_TRUE(reader.used_stored_index());
+  EXPECT_EQ(reader.record_count(), 3u);
+  InjectionRecord record;
+  ASSERT_TRUE(reader.lookup(2, &record));
+  expect_records_equal(make_record(2), record);
+}
+
+TEST(BinaryStore, ResumeOnCompleteSealedStoreIsANoOpReseal) {
+  const std::string path = temp_path("reseal.bin");
+  const CampaignManifest manifest = make_manifest_for_test(2);
+  {
+    BinaryShardStore store(path, manifest, StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+    store.append(make_record(1));
+  }  // destructor seals
+  const auto size_before = fs::file_size(path);
+  { BinaryShardStore resumed(path, manifest, StoreOpenMode::kResume); }
+  EXPECT_EQ(fs::file_size(path), size_before)
+      << "reseal of an untouched store must reproduce the same footer";
+  EXPECT_EQ(read_shard(path).records.size(), 2u);
+}
+
+TEST(BinaryStore, FreshRefusesToClobberRecords) {
+  const std::string path = temp_path("clobber.bin");
+  const CampaignManifest manifest = make_manifest_for_test(2);
+  {
+    BinaryShardStore store(path, manifest, StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+  }
+  EXPECT_THROW(BinaryShardStore(path, manifest, StoreOpenMode::kFresh),
+               std::runtime_error);
+  // A manifest-only store holds nothing durable; kFresh may restart it.
+  {
+    BinaryShardStore empty(path, manifest, StoreOpenMode::kOverwrite);
+  }
+  BinaryShardStore recreated(path, manifest, StoreOpenMode::kFresh);
+  recreated.append(make_record(1));
+}
+
+TEST(BinaryStore, ResumeRefusesMismatchedManifestOrShard) {
+  const std::string path = temp_path("mismatch.bin");
+  const CampaignManifest manifest = make_manifest_for_test(4);
+  {
+    BinaryShardStore store(path, manifest, StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+  }
+  CampaignManifest other = manifest;
+  other.model_params = "n=4 seed=9999";
+  EXPECT_THROW(BinaryShardStore(path, other, StoreOpenMode::kResume),
+               std::runtime_error);
+  CampaignManifest wrong_shard = make_manifest_for_test(4, 1, 2);
+  EXPECT_THROW(BinaryShardStore(path, wrong_shard, StoreOpenMode::kResume),
+               std::runtime_error);
+}
+
+TEST(BinaryStore, ResumeRefusesTheOtherFormatsFile) {
+  const CampaignManifest manifest = make_manifest_for_test(2);
+  const std::string jsonl_path = temp_path("fmt.jsonl");
+  {
+    ShardResultStore store(jsonl_path, manifest, StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+  }
+  EXPECT_THROW(BinaryShardStore(jsonl_path, manifest, StoreOpenMode::kResume),
+               std::runtime_error);
+
+  const std::string bin_path = temp_path("fmt.bin");
+  {
+    BinaryShardStore store(bin_path, manifest, StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+  }
+  EXPECT_THROW(ShardResultStore(bin_path, manifest, StoreOpenMode::kResume),
+               std::runtime_error);
+}
+
+TEST(BinaryStore, AppendRefusesDuplicatesAndForeignIndices) {
+  const std::string path = temp_path("refuse.bin");
+  BinaryShardStore store(path, make_manifest_for_test(10, 1, 2),
+                         StoreOpenMode::kOverwrite);
+  store.append(make_record(1));
+  EXPECT_THROW(store.append(make_record(1)), std::runtime_error);   // dup
+  EXPECT_THROW(store.append(make_record(2)), std::runtime_error);   // shard 0's
+  EXPECT_THROW(store.append(make_record(11)), std::runtime_error);  // outside
+  store.finalize();
+  EXPECT_THROW(store.append(make_record(3)), std::runtime_error);   // sealed
+}
+
+TEST(BinaryStore, MixedFormatShardsMergeAsOneCampaign) {
+  const std::string path_a = temp_path("mixed_a.jsonl");
+  const std::string path_b = temp_path("mixed_b.bin");
+  {
+    ShardResultStore store(path_a, make_manifest_for_test(4, 0, 2),
+                           StoreOpenMode::kOverwrite);
+    store.append(make_record(0));
+    store.append(make_record(2));
+  }
+  {
+    BinaryShardStore store(path_b, make_manifest_for_test(4, 1, 2),
+                           StoreOpenMode::kOverwrite);
+    store.append(make_record(1));
+    store.append(make_record(3));
+  }
+  const MergedCampaign merged = merge_shards({path_a, path_b});
+  ASSERT_EQ(merged.stats.records.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r)
+    expect_records_equal(make_record(r), merged.stats.records[r]);
+  EXPECT_EQ(merged.manifest.shard_count, 1u);
+}
+
+TEST(BinaryStore, IndexFooterRoundTripsStructurally) {
+  BinaryStoreIndex index;
+  index.offset_by_run = {{0, 40}, {7, 123}, {1000000, 99999999}};
+  index.runs_by_outcome[0] = {0, 7};
+  index.runs_by_outcome[3] = {1000000};
+  index.runs_by_scenario = {{2, {0, 1000000}}, {5, {7}}};
+  const std::string payload = index.encode();
+  const BinaryStoreIndex back = BinaryStoreIndex::decode(payload);
+  EXPECT_EQ(back.offset_by_run, index.offset_by_run);
+  EXPECT_EQ(back.runs_by_outcome, index.runs_by_outcome);
+  EXPECT_EQ(back.runs_by_scenario, index.runs_by_scenario);
+  // Canonical: re-encoding reproduces the same bytes.
+  EXPECT_EQ(back.encode(), payload);
+}
+
+TEST(BinaryStore, OpenShardStoreFactoryDispatches) {
+  const CampaignManifest manifest = make_manifest_for_test(2);
+  const std::string jsonl_path = temp_path("factory.jsonl");
+  const std::string bin_path = temp_path("factory.bin");
+  {
+    const auto jsonl = open_shard_store(jsonl_path, manifest,
+                                        StoreFormat::kJsonl,
+                                        StoreOpenMode::kOverwrite);
+    const auto binary = open_shard_store(bin_path, manifest,
+                                         StoreFormat::kBinary,
+                                         StoreOpenMode::kOverwrite);
+    jsonl->append(make_record(0));
+    binary->append(make_record(0));
+  }
+  EXPECT_EQ(detect_store_format(jsonl_path), StoreFormat::kJsonl);
+  EXPECT_EQ(detect_store_format(bin_path), StoreFormat::kBinary);
+  EXPECT_EQ(parse_store_format("jsonl"), StoreFormat::kJsonl);
+  EXPECT_EQ(parse_store_format("binary"), StoreFormat::kBinary);
+  EXPECT_THROW(parse_store_format("protobuf"), std::runtime_error);
+  EXPECT_STREQ(store_format_name(StoreFormat::kBinary), "binary");
+  EXPECT_STREQ(store_format_name(StoreFormat::kJsonl), "jsonl");
+}
+
+}  // namespace
+}  // namespace drivefi::core
